@@ -1,0 +1,87 @@
+//! Diagnostic helper: reproduce a UPEC counterexample and dump the values of
+//! every miter register pair and the key control signals frame by frame.
+//! Used while tuning the side constraints; kept because it is genuinely
+//! useful when extending the SoC.
+//!
+//! ```text
+//! cargo run --release -p bench --bin debug_alert [variant] [window]
+//! ```
+
+use bench::formal_config;
+use bmc::{UnrollOptions, Unrolling};
+use sat::SatResult;
+use soc::SocVariant;
+use upec::{SecretScenario, StateClass, UpecModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let variant = match args.get(1).map(String::as_str) {
+        Some("orc") => SocVariant::Orc,
+        Some("meltdown") => SocVariant::MeltdownStyle,
+        Some("pmp") => SocVariant::PmpLockBug,
+        _ => SocVariant::Secure,
+    };
+    let window: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let model = UpecModel::new(&formal_config(variant), SecretScenario::InCache);
+    let aliases: Vec<_> = model
+        .pairs()
+        .iter()
+        .filter(|p| p.class != StateClass::Memory)
+        .map(|p| (p.signal2, p.signal1))
+        .collect();
+    let mut unrolling =
+        Unrolling::with_frame0_aliases(model.netlist(), UnrollOptions::default(), &aliases);
+    unrolling.extend_to(window);
+    for c in model.initial_constraints() {
+        unrolling.assume_signal_true(0, c.signal).unwrap();
+    }
+    for c in model.window_constraints() {
+        for f in 0..=window {
+            unrolling.assume_signal_true(f, c.signal).unwrap();
+        }
+    }
+    // Ask for an architectural difference at the final frame.
+    let arch_lits: Vec<_> = model
+        .pairs_of_class(StateClass::Architectural)
+        .map(|p| unrolling.bit_lit(window, p.equal).unwrap())
+        .collect();
+    unrolling.add_clause(arch_lits.iter().map(|&l| !l));
+
+    match unrolling.solve(&[]) {
+        SatResult::Unsat => println!("no architectural difference reachable at window {window}"),
+        SatResult::Unknown => println!("unknown"),
+        SatResult::Sat(m) => {
+            println!("L-alert counterexample at window {window} ({variant:?}):\n");
+            for frame in 0..=window {
+                println!("--- frame {frame} ---");
+                for pair in model.pairs() {
+                    let v1 = unrolling.value_in_model(&m, frame, pair.signal1).unwrap();
+                    let v2 = unrolling.value_in_model(&m, frame, pair.signal2).unwrap();
+                    if v1 != v2 {
+                        println!("  DIFF {:<28} {v1} vs {v2}  [{:?}]", pair.name, pair.class);
+                    }
+                }
+                let soc1 = model.soc1();
+                let soc2 = model.soc2();
+                let dump = |u: &Unrolling<'_>, label: &str, s1, s2| {
+                    let v1 = u.value_in_model(&m, frame, s1).unwrap();
+                    let v2 = u.value_in_model(&m, frame, s2).unwrap();
+                    println!("  {label:<28} {v1} | {v2}");
+                };
+                dump(&unrolling, "pc", soc1.pc, soc2.pc);
+                dump(&unrolling, "mode", soc1.mode, soc2.mode);
+                dump(&unrolling, "global_stall", soc1.global_stall, soc2.global_stall);
+                dump(&unrolling, "flush(wb)", soc1.flush, soc2.flush);
+                dump(&unrolling, "trap_taken", soc1.trap_taken, soc2.trap_taken);
+                dump(&unrolling, "imem_instr", soc1.imem_instr, soc2.imem_instr);
+                dump(&unrolling, "mem_rdata", soc1.mem_rdata, soc2.mem_rdata);
+                dump(&unrolling, "mem_req_valid", soc1.mem_req_valid, soc2.mem_req_valid);
+                dump(&unrolling, "mem_req_addr", soc1.mem_req_addr, soc2.mem_req_addr);
+                dump(&unrolling, "secret_line_present", soc1.secret_line_present, soc2.secret_line_present);
+                dump(&unrolling, "ex_mem_blocked", soc1.ex_mem_blocked, soc2.ex_mem_blocked);
+                dump(&unrolling, "mem_wb_blocked", soc1.mem_wb_blocked, soc2.mem_wb_blocked);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Reproduces the finding of paper Sec. VII-C: UPEC also uncovers the ISA
+//! compliance violation in the physical-memory-protection (PMP) locking
+//! logic — a "main channel" leak where the attacker gains direct access to
+//! the secret.
+//!
+//! ```text
+//! cargo run --release -p bench --bin pmp_violation
+//! ```
+
+use bench::{formal_config, secs};
+use soc::SocVariant;
+use upec::{SecretScenario, UpecChecker, UpecModel, UpecOptions};
+
+fn main() {
+    println!("Sec. VII-C — PMP TOR-lock violation\n");
+    let checker = UpecChecker::new();
+    for variant in [SocVariant::PmpLockBug, SocVariant::Secure] {
+        let model = UpecModel::new(&formal_config(variant), SecretScenario::InCache);
+        let mut verdict = "no L-alert up to the window bound".to_string();
+        let mut runtime = std::time::Duration::ZERO;
+        // The shortest leaking scenario (move the locked base, mret, load the
+        // secret) spans about seven cycles; start the search there.
+        for k in 7..=9 {
+            let outcome = checker.check_architectural(&model, UpecOptions::window(k));
+            runtime += outcome.stats().runtime;
+            if let Some(alert) = outcome.alert() {
+                verdict = format!(
+                    "L-alert at window {k}: architectural registers {:?} receive secret-dependent values",
+                    alert.architectural_differences
+                );
+                break;
+            }
+        }
+        println!("{:>14}: {verdict} ({} total solver time)", variant.name(), secs(runtime));
+    }
+    println!("\nShape check vs the paper: the buggy lock implementation lets privileged code");
+    println!("move the base of a locked region, after which the 'protected' secret leaks");
+    println!("directly into an architectural register; the correct implementation does not.");
+}

@@ -1,0 +1,90 @@
+//! Regenerates **Table II** of the paper: detecting the deliberately inserted
+//! vulnerabilities (Orc and Meltdown-style) — window length and proof runtime
+//! for the first P-alert and the first L-alert.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2
+//! ```
+
+use bench::{formal_config, secs};
+use soc::SocVariant;
+use std::time::Duration;
+use upec::{SecretScenario, UpecChecker, UpecModel, UpecOptions};
+
+struct Row {
+    p_window: Option<usize>,
+    p_runtime: Duration,
+    l_window: Option<usize>,
+    l_runtime: Duration,
+}
+
+fn investigate(variant: SocVariant, max_window: usize) -> Row {
+    let model = UpecModel::new(&formal_config(variant), SecretScenario::InCache);
+    let checker = UpecChecker::new();
+    let mut row = Row {
+        p_window: None,
+        p_runtime: Duration::ZERO,
+        l_window: None,
+        l_runtime: Duration::ZERO,
+    };
+    for k in 1..=max_window {
+        if row.p_window.is_none() {
+            let outcome = checker.check_full(&model, UpecOptions::window(k));
+            row.p_runtime += outcome.stats().runtime;
+            if outcome.alert().is_some() {
+                row.p_window = Some(k);
+            }
+        }
+        if row.l_window.is_none() {
+            let outcome = checker.check_architectural(&model, UpecOptions::window(k));
+            row.l_runtime += outcome.stats().runtime;
+            if outcome.alert().is_some() {
+                row.l_window = Some(k);
+            }
+        }
+        if row.p_window.is_some() && row.l_window.is_some() {
+            break;
+        }
+    }
+    row
+}
+
+fn main() {
+    println!("Table II — detecting vulnerabilities in the modified designs");
+    println!("paper reference: Orc P-alert k=2 / 1 min, L-alert k=4 / 3 min;");
+    println!("                 Meltdown-style P-alert k=4 / 1 min, L-alert k=9 / 18 min\n");
+    println!("{:<34} {:>12} {:>16}", "", "Orc", "Meltdown-style");
+
+    let orc = investigate(SocVariant::Orc, 10);
+    let meltdown = investigate(SocVariant::MeltdownStyle, 12);
+
+    let show = |v: &Option<usize>| v.map(|k| k.to_string()).unwrap_or_else(|| "-".into());
+    println!(
+        "{:<34} {:>12} {:>16}",
+        "window length for P-alert",
+        show(&orc.p_window),
+        show(&meltdown.p_window)
+    );
+    println!(
+        "{:<34} {:>12} {:>16}",
+        "proof runtime for P-alert",
+        secs(orc.p_runtime),
+        secs(meltdown.p_runtime)
+    );
+    println!(
+        "{:<34} {:>12} {:>16}",
+        "window length for L-alert",
+        show(&orc.l_window),
+        show(&meltdown.l_window)
+    );
+    println!(
+        "{:<34} {:>12} {:>16}",
+        "proof runtime for L-alert",
+        secs(orc.l_runtime),
+        secs(meltdown.l_runtime)
+    );
+
+    println!("\nShape check vs the paper: both variants yield P-alerts before (or with) L-alerts,");
+    println!("the Orc channel is found at a shorter window than the Meltdown-style one, and");
+    println!("L-alerts cost more cumulative solver time than P-alerts.");
+}

@@ -1,0 +1,76 @@
+//! Shared helpers for the benchmark harness that regenerates the paper's
+//! tables and figures.
+
+#![warn(missing_docs)]
+
+use soc::{Instruction, Program, SocConfig, SocVariant};
+
+/// A reduced SoC configuration that keeps the SAT problems small enough for
+/// the from-scratch solver while preserving every microarchitectural
+/// mechanism the paper's evaluation depends on.
+pub fn formal_config(variant: SocVariant) -> SocConfig {
+    SocConfig::new(variant)
+        .with_registers(4)
+        .with_cache_lines(2)
+        .with_miss_latency(1)
+        .with_store_latency(1)
+}
+
+/// The full-size configuration used for the simulation-based figures.
+pub fn sim_config(variant: SocVariant) -> SocConfig {
+    SocConfig::new(variant)
+}
+
+/// One iteration of the Orc attack (paper Fig. 2) for a given guess of the
+/// secret's cache index.
+pub fn orc_attack_program(config: &SocConfig, guess: u32) -> Program {
+    let accessible = 0x40u32;
+    let mut p = Program::new(0);
+    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
+    p.push(Instruction::Addi { rd: 2, rs1: 0, imm: accessible as i32 });
+    p.push(Instruction::Addi { rd: 2, rs1: 2, imm: (guess * 4) as i32 });
+    p.push(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 });
+    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
+    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+    p.push_nops(2);
+    p
+}
+
+/// The Meltdown-style transient sequence used for the Fig. 1 footprint
+/// experiment.
+pub fn transient_program(config: &SocConfig) -> Program {
+    let mut p = Program::new(0);
+    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
+    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
+    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+    p.push_nops(2);
+    p
+}
+
+/// Formats a duration in seconds with two decimals (for table rows).
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_differ_in_size() {
+        let f = formal_config(SocVariant::Secure);
+        let s = sim_config(SocVariant::Secure);
+        assert!(f.cache_lines < s.cache_lines);
+        assert_eq!(f.variant(), s.variant());
+    }
+
+    #[test]
+    fn attack_programs_have_the_papers_shape() {
+        let config = sim_config(SocVariant::Orc);
+        let p = orc_attack_program(&config, 3);
+        assert_eq!(p.len(), 8);
+        assert!(p.listing().contains("lw x5, 0(x4)"));
+        let t = transient_program(&config);
+        assert!(t.listing().contains("lw x4, 0(x1)"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Interval property checking (IPC): bounded proofs from a symbolic initial
+//! state.
+
+use crate::{IntervalProperty, UnrollOptions, Unrolling};
+use rtl::{BitVec, Netlist};
+use sat::{Lit, SatResult};
+use std::time::{Duration, Instant};
+
+/// Per-check statistics reported alongside every IPC verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IpcStats {
+    /// Number of CNF variables in the unrolled model.
+    pub variables: usize,
+    /// Number of problem clauses in the unrolled model.
+    pub clauses: usize,
+    /// Conflicts spent by the SAT solver.
+    pub conflicts: u64,
+    /// Decisions made by the SAT solver.
+    pub decisions: u64,
+    /// Wall-clock time of the whole check.
+    pub runtime: Duration,
+    /// Window length (`k`) of the checked property.
+    pub window_length: usize,
+}
+
+/// One frame of a counterexample trace: the value of every register and
+/// primary input.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CexFrame {
+    /// `(register name, value)` pairs in declaration order.
+    pub registers: Vec<(String, BitVec)>,
+    /// `(input name, value)` pairs in declaration order.
+    pub inputs: Vec<(String, BitVec)>,
+}
+
+impl CexFrame {
+    /// Looks up a register value by name.
+    pub fn register(&self, name: &str) -> Option<BitVec> {
+        self.registers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up an input value by name.
+    pub fn input(&self, name: &str) -> Option<BitVec> {
+        self.inputs.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// A counterexample to an interval property.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Labels of the obligations that are violated in the final frame.
+    pub failed_obligations: Vec<String>,
+    /// Per-frame register/input valuations, frame 0 first.
+    pub frames: Vec<CexFrame>,
+}
+
+impl Counterexample {
+    /// Number of frames in the trace.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Registers whose value differs between the first and last frame —
+    /// a quick diagnostic for "what moved".
+    pub fn changed_registers(&self) -> Vec<String> {
+        match (self.frames.first(), self.frames.last()) {
+            (Some(first), Some(last)) => first
+                .registers
+                .iter()
+                .zip(&last.registers)
+                .filter(|((_, a), (_, b))| a != b)
+                .map(|((name, _), _)| name.clone())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Verdict of an interval property check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpcOutcome {
+    /// The property holds on the bounded model.
+    Proven(IpcStats),
+    /// The property is violated; a counterexample trace is attached.
+    Violated(Box<Counterexample>, IpcStats),
+    /// The solver exhausted its conflict budget.
+    Unknown(IpcStats),
+}
+
+impl IpcOutcome {
+    /// Whether the property was proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, IpcOutcome::Proven(_))
+    }
+
+    /// Whether the property was violated.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, IpcOutcome::Violated(..))
+    }
+
+    /// The counterexample, if the property was violated.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            IpcOutcome::Violated(cex, _) => Some(cex),
+            _ => None,
+        }
+    }
+
+    /// Statistics of the check regardless of the verdict.
+    pub fn stats(&self) -> IpcStats {
+        match self {
+            IpcOutcome::Proven(s) | IpcOutcome::Violated(_, s) | IpcOutcome::Unknown(s) => *s,
+        }
+    }
+}
+
+/// The interval property checker.
+///
+/// `IpcEngine::check` unrolls the design over the property's window, asserts
+/// every assumption, and asks the SAT solver for an assignment violating at
+/// least one obligation. `Unsat` means the property holds for **every**
+/// starting state satisfying the assumptions — the "any-state proof" that
+/// lets UPEC reason about all programs and all reachable microarchitectural
+/// states at once.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::{Netlist, BitVec};
+/// use bmc::{IntervalProperty, PropertyTerm, IpcEngine, UnrollOptions};
+///
+/// // A register that saturates at 3 can never hold 7 one cycle after
+/// // holding a value below 4.
+/// let mut n = Netlist::new("sat3");
+/// let r = n.register("r", 3);
+/// let three = n.lit(3, 3);
+/// let below = n.ult(r.value(), three);
+/// let one = n.lit(1, 3);
+/// let plus = n.add(r.value(), one);
+/// let next = n.mux(below, plus, r.value());
+/// n.set_next(r, next);
+/// let seven = n.lit(7, 3);
+/// let is_seven = n.eq(r.value(), seven);
+/// let not_seven = n.not(is_seven);
+/// n.output("not_seven", not_seven);
+///
+/// let property = IntervalProperty::new("never 7 after below 4", 1)
+///     .assume(PropertyTerm::at("starts below 4", 0, below))
+///     .prove(PropertyTerm::at("not 7 next cycle", 1, not_seven));
+/// let outcome = IpcEngine::new(UnrollOptions::default()).check(&n, &property);
+/// assert!(outcome.is_proven());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IpcEngine {
+    options: UnrollOptions,
+}
+
+impl IpcEngine {
+    /// Creates an engine with the given unrolling options.
+    pub fn new(options: UnrollOptions) -> Self {
+        Self { options }
+    }
+
+    /// Checks an interval property on a netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation or a property term refers to a
+    /// signal that is not a single bit.
+    pub fn check(&self, netlist: &Netlist, property: &IntervalProperty) -> IpcOutcome {
+        let start = Instant::now();
+        let mut unrolling = Unrolling::new(netlist, self.options);
+        let max_frame = property.max_frame();
+        unrolling.extend_to(max_frame);
+
+        // Assumptions are hard constraints.
+        for term in &property.assumptions {
+            for frame in term.when.frames(max_frame) {
+                unrolling
+                    .assume_signal_true(frame, term.signal)
+                    .unwrap_or_else(|e| panic!("assumption `{}` is malformed: {e}", term.label));
+            }
+        }
+
+        // Obligations: ask for a violation of at least one of them.
+        let mut obligation_lits: Vec<(String, Lit)> = Vec::new();
+        for term in &property.obligations {
+            for frame in term.when.frames(max_frame) {
+                let lit = unrolling
+                    .bit_lit(frame, term.signal)
+                    .unwrap_or_else(|e| panic!("obligation `{}` is malformed: {e}", term.label));
+                obligation_lits.push((format!("{} @ t+{frame}", term.label), lit));
+            }
+        }
+        assert!(
+            !obligation_lits.is_empty(),
+            "interval property `{}` has no obligations",
+            property.name
+        );
+        unrolling.add_clause(obligation_lits.iter().map(|(_, l)| !*l));
+
+        let result = unrolling.solve(&[]);
+        let solver_stats = unrolling.solver_stats();
+        let stats = IpcStats {
+            variables: unrolling.num_vars(),
+            clauses: unrolling.num_clauses(),
+            conflicts: solver_stats.conflicts,
+            decisions: solver_stats.decisions,
+            runtime: start.elapsed(),
+            window_length: property.length,
+        };
+
+        match result {
+            SatResult::Unsat => IpcOutcome::Proven(stats),
+            SatResult::Unknown => IpcOutcome::Unknown(stats),
+            SatResult::Sat(model) => {
+                let failed = obligation_lits
+                    .iter()
+                    .filter(|(_, l)| !model.lit_is_true(*l))
+                    .map(|(label, _)| label.clone())
+                    .collect();
+                let cex = extract_counterexample(&unrolling, netlist, &model, max_frame, failed);
+                IpcOutcome::Violated(Box::new(cex), stats)
+            }
+        }
+    }
+}
+
+pub(crate) fn extract_counterexample(
+    unrolling: &Unrolling<'_>,
+    netlist: &Netlist,
+    model: &sat::Model,
+    max_frame: usize,
+    failed_obligations: Vec<String>,
+) -> Counterexample {
+    let mut frames = Vec::with_capacity(max_frame + 1);
+    for frame in 0..=max_frame {
+        let registers = netlist
+            .registers()
+            .iter()
+            .map(|r| {
+                let v = unrolling
+                    .value_in_model(model, frame, r.signal)
+                    .expect("frame was built");
+                (r.name.clone(), v)
+            })
+            .collect();
+        let inputs = netlist
+            .inputs()
+            .iter()
+            .map(|&i| {
+                let v = unrolling
+                    .value_in_model(model, frame, i)
+                    .expect("frame was built");
+                (netlist.signal_name(i), v)
+            })
+            .collect();
+        frames.push(CexFrame { registers, inputs });
+    }
+    Counterexample {
+        failed_obligations,
+        frames,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PropertyTerm;
+
+    /// A small pipeline-ish design: a value inserted at the input appears at
+    /// the output two cycles later.
+    fn two_stage_pipeline() -> (Netlist, rtl::SignalId, rtl::SignalId) {
+        let mut n = Netlist::new("pipe2");
+        let input = n.input("in", 8);
+        let s1 = n.register("s1", 8);
+        let s2 = n.register("s2", 8);
+        n.set_next(s1, input);
+        n.set_next(s2, s1.value());
+        n.output("out", s2.value());
+        (n, input, s2.value())
+    }
+
+    #[test]
+    fn pipeline_delivers_value_after_two_cycles() {
+        let (mut n, input, out) = two_stage_pipeline();
+        let forty_two = n.lit(42, 8);
+        let in_is_42 = n.eq(input, forty_two);
+        let out_is_42 = n.eq(out, forty_two);
+        n.output("in_is_42", in_is_42);
+        n.output("out_is_42", out_is_42);
+
+        let holds = IntervalProperty::new("value propagates", 2)
+            .assume(PropertyTerm::at("input is 42", 0, in_is_42))
+            .prove(PropertyTerm::at("output is 42", 2, out_is_42));
+        let outcome = IpcEngine::new(UnrollOptions::default()).check(&n, &holds);
+        assert!(outcome.is_proven(), "outcome: {outcome:?}");
+
+        // The same claim one cycle too early fails and the counterexample
+        // names the violated obligation.
+        let too_early = IntervalProperty::new("value propagates too early", 1)
+            .assume(PropertyTerm::at("input is 42", 0, in_is_42))
+            .prove(PropertyTerm::at("output is 42", 1, out_is_42));
+        let outcome = IpcEngine::new(UnrollOptions::default()).check(&n, &too_early);
+        assert!(outcome.is_violated());
+        let cex = outcome.counterexample().expect("counterexample");
+        assert_eq!(cex.len(), 2);
+        assert_eq!(cex.failed_obligations.len(), 1);
+        assert!(cex.failed_obligations[0].contains("output is 42"));
+        // The trace shows the assumed input value.
+        assert_eq!(cex.frames[0].input("in").unwrap().as_u64(), 42);
+    }
+
+    #[test]
+    fn stats_reflect_model_size() {
+        let (mut n, input, out) = two_stage_pipeline();
+        let zero = n.lit(0, 8);
+        let in_zero = n.eq(input, zero);
+        let out_zero = n.eq(out, zero);
+        let p = IntervalProperty::new("zero propagates", 2)
+            .assume(PropertyTerm::at("in zero", 0, in_zero))
+            .prove(PropertyTerm::at("out zero", 2, out_zero));
+        let outcome = IpcEngine::new(UnrollOptions::default()).check(&n, &p);
+        let stats = outcome.stats();
+        assert!(stats.variables > 16);
+        assert!(stats.clauses > 0);
+        assert_eq!(stats.window_length, 2);
+    }
+
+    #[test]
+    fn during_assumptions_cover_every_frame() {
+        // A register that only keeps its value while `hold` is asserted.
+        let mut n = Netlist::new("holdreg");
+        let hold = n.input("hold", 1);
+        let data = n.input("data", 4);
+        let r = n.register("r", 4);
+        let next = n.mux(hold, r.value(), data);
+        n.set_next(r, next);
+        let five = n.lit(5, 4);
+        let is_five = n.eq(r.value(), five);
+        n.output("is_five", is_five);
+
+        let p = IntervalProperty::new("held value persists", 3)
+            .assume(PropertyTerm::at("starts at five", 0, is_five))
+            .assume(PropertyTerm::during("held the whole window", 0, 2, hold))
+            .prove(PropertyTerm::at("still five", 3, is_five));
+        assert!(IpcEngine::new(UnrollOptions::default()).check(&n, &p).is_proven());
+
+        // Without the `during` assumption the value can be overwritten.
+        let p = IntervalProperty::new("value persists unconditionally", 3)
+            .assume(PropertyTerm::at("starts at five", 0, is_five))
+            .prove(PropertyTerm::at("still five", 3, is_five));
+        assert!(IpcEngine::new(UnrollOptions::default()).check(&n, &p).is_violated());
+    }
+
+    #[test]
+    fn changed_registers_diagnostic() {
+        let (mut n, input, out) = two_stage_pipeline();
+        let ten = n.lit(10, 8);
+        let in_is_10 = n.eq(input, ten);
+        let out_is_10 = n.eq(out, ten);
+        let p = IntervalProperty::new("too early", 1)
+            .assume(PropertyTerm::at("in 10", 0, in_is_10))
+            .prove(PropertyTerm::at("out 10", 1, out_is_10));
+        let outcome = IpcEngine::new(UnrollOptions::default()).check(&n, &p);
+        let cex = outcome.counterexample().expect("violated");
+        // s1 always changes to 10 in frame 1 because the input is forced.
+        assert!(cex.changed_registers().contains(&"s1".to_string()) || !cex.changed_registers().is_empty());
+    }
+}

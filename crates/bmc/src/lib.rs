@@ -1,0 +1,58 @@
+//! # `bmc` — bounded model checking and interval property checking (IPC)
+//!
+//! This crate is the formal-verification engine of the UPEC reproduction. It
+//! takes a word-level [`rtl::Netlist`], bit-blasts it into CNF with Tseitin
+//! encoding, unrolls its transition relation over a bounded time window, and
+//! decides properties with the [`sat`] CDCL solver.
+//!
+//! Three layers are exposed:
+//!
+//! * [`Unrolling`] — the low-level machinery: per-frame literals for every
+//!   signal, hard constraints, assumption-based queries and model/value
+//!   extraction. The UPEC miter proofs in the `upec` crate drive this layer
+//!   directly.
+//! * [`IntervalProperty`] + [`IpcEngine`] — the assume/prove interval
+//!   properties of the paper's Fig. 4, checked from a *symbolic initial
+//!   state* (the "any-state proof" of Interval Property Checking).
+//! * [`InductionProver`] — k-induction for single-bit invariants, used to
+//!   turn bounded P-alert analyses into unbounded security proofs
+//!   (paper Sec. VI).
+//!
+//! # Example
+//!
+//! ```
+//! use rtl::{Netlist, BitVec};
+//! use bmc::{IntervalProperty, PropertyTerm, IpcEngine, UnrollOptions};
+//!
+//! // Prove that a two-entry shift register delivers its input after two
+//! // cycles, for every possible starting state.
+//! let mut n = Netlist::new("shift2");
+//! let data_in = n.input("in", 4);
+//! let s1 = n.register("s1", 4);
+//! let s2 = n.register("s2", 4);
+//! n.set_next(s1, data_in);
+//! n.set_next(s2, s1.value());
+//! let nine = n.lit(9, 4);
+//! let in_is_9 = n.eq(data_in, nine);
+//! let out_is_9 = n.eq(s2.value(), nine);
+//! n.output("out_is_9", out_is_9);
+//!
+//! let property = IntervalProperty::new("input reaches output", 2)
+//!     .assume(PropertyTerm::at("input is 9", 0, in_is_9))
+//!     .prove(PropertyTerm::at("output is 9", 2, out_is_9));
+//! assert!(IpcEngine::new(UnrollOptions::default()).check(&n, &property).is_proven());
+//! ```
+
+#![warn(missing_docs)]
+
+mod gates;
+mod induction;
+mod ipc;
+mod property;
+mod unroll;
+
+pub use gates::GateBuilder;
+pub use induction::{InductionOutcome, InductionProver};
+pub use ipc::{CexFrame, Counterexample, IpcEngine, IpcOutcome, IpcStats};
+pub use property::{IntervalProperty, PropertyTerm, When};
+pub use unroll::{UnrollError, UnrollOptions, Unrolling};

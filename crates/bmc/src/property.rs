@@ -1,0 +1,159 @@
+//! Interval properties: assume/prove conditions attached to time frames.
+
+use rtl::SignalId;
+
+/// When a property term applies, in clock cycles relative to the symbolic
+/// starting time point `t` of the interval property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum When {
+    /// At exactly one time offset.
+    At(usize),
+    /// During an inclusive range of time offsets (`during t..t+k` in the
+    /// notation of the paper's Fig. 4).
+    During(usize, usize),
+}
+
+impl When {
+    /// The frames covered by this specification, clipped to `max`.
+    pub fn frames(&self, max: usize) -> Vec<usize> {
+        match *self {
+            When::At(t) => {
+                if t <= max {
+                    vec![t]
+                } else {
+                    Vec::new()
+                }
+            }
+            When::During(a, b) => (a..=b.min(max)).collect(),
+        }
+    }
+
+    /// The last frame this specification touches.
+    pub fn last_frame(&self) -> usize {
+        match *self {
+            When::At(t) => t,
+            When::During(_, b) => b,
+        }
+    }
+}
+
+/// A single-bit condition evaluated at one or more time frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyTerm {
+    /// Human-readable label used in reports and counterexamples.
+    pub label: String,
+    /// Time frames at which the condition applies.
+    pub when: When,
+    /// The single-bit signal that must hold.
+    pub signal: SignalId,
+}
+
+impl PropertyTerm {
+    /// Creates a term that must hold at exactly one offset.
+    pub fn at(label: impl Into<String>, frame: usize, signal: SignalId) -> Self {
+        Self {
+            label: label.into(),
+            when: When::At(frame),
+            signal,
+        }
+    }
+
+    /// Creates a term that must hold during an inclusive range of offsets.
+    pub fn during(label: impl Into<String>, from: usize, to: usize, signal: SignalId) -> Self {
+        Self {
+            label: label.into(),
+            when: When::During(from, to),
+            signal,
+        }
+    }
+}
+
+/// An interval property in the style of the paper's Fig. 4:
+///
+/// ```text
+/// assume:
+///   at t:        <assumption>;
+///   during t..t+k: <assumption>;
+/// prove:
+///   at t+k:      <obligation>;
+/// ```
+///
+/// The property is checked on a bounded model of length `length` (the `k` of
+/// the paper) starting from a symbolic initial state, i.e. the assumptions
+/// are the only knowledge about cycle `t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalProperty {
+    /// Name used in reports.
+    pub name: String,
+    /// Window length `k`; the unrolling spans frames `0..=length`.
+    pub length: usize,
+    /// Conditions assumed to hold.
+    pub assumptions: Vec<PropertyTerm>,
+    /// Conditions that must be proven to hold.
+    pub obligations: Vec<PropertyTerm>,
+}
+
+impl IntervalProperty {
+    /// Creates an empty property with the given name and window length.
+    pub fn new(name: impl Into<String>, length: usize) -> Self {
+        Self {
+            name: name.into(),
+            length,
+            assumptions: Vec::new(),
+            obligations: Vec::new(),
+        }
+    }
+
+    /// Adds an assumption term (builder style).
+    pub fn assume(mut self, term: PropertyTerm) -> Self {
+        self.assumptions.push(term);
+        self
+    }
+
+    /// Adds a proof obligation term (builder style).
+    pub fn prove(mut self, term: PropertyTerm) -> Self {
+        self.obligations.push(term);
+        self
+    }
+
+    /// The largest frame index referenced by the property (at least
+    /// `length`).
+    pub fn max_frame(&self) -> usize {
+        self.assumptions
+            .iter()
+            .chain(&self.obligations)
+            .map(|t| t.when.last_frame())
+            .chain(std::iter::once(self.length))
+            .max()
+            .unwrap_or(self.length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn when_frames_expand_and_clip() {
+        assert_eq!(When::At(3).frames(5), vec![3]);
+        assert_eq!(When::At(7).frames(5), Vec::<usize>::new());
+        assert_eq!(When::During(1, 3).frames(5), vec![1, 2, 3]);
+        assert_eq!(When::During(1, 9).frames(3), vec![1, 2, 3]);
+        assert_eq!(When::During(2, 2).last_frame(), 2);
+    }
+
+    #[test]
+    fn property_builder_accumulates_terms() {
+        let s = SignalId::from_index(0);
+        let p = IntervalProperty::new("upec", 4)
+            .assume(PropertyTerm::at("initial equality", 0, s))
+            .assume(PropertyTerm::during("cache monitor", 0, 4, s))
+            .prove(PropertyTerm::at("state equality", 4, s));
+        assert_eq!(p.assumptions.len(), 2);
+        assert_eq!(p.obligations.len(), 1);
+        assert_eq!(p.max_frame(), 4);
+        let p2 = IntervalProperty::new("longer", 2)
+            .prove(PropertyTerm::at("late", 6, s));
+        assert_eq!(p2.max_frame(), 6);
+    }
+}

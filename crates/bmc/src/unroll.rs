@@ -1,0 +1,829 @@
+//! Transition-relation unrolling with word-level bit-blasting.
+
+use crate::GateBuilder;
+use rtl::{BinaryOp, BitVec, Netlist, Node, SignalId, UnaryOp};
+use sat::{Lit, Model, SatResult};
+
+/// Options controlling how a netlist is unrolled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnrollOptions {
+    /// When `true`, registers that declare an initial value start there in
+    /// frame 0. When `false` every register starts fully *symbolic*, which is
+    /// the "any-state proof" setting used by interval property checking
+    /// (IPC) and by all UPEC proofs.
+    pub use_initial_values: bool,
+    /// Optional conflict budget handed to the SAT solver; `None` means solve
+    /// to completion.
+    pub conflict_limit: Option<u64>,
+}
+
+impl Default for UnrollOptions {
+    fn default() -> Self {
+        Self {
+            use_initial_values: false,
+            conflict_limit: None,
+        }
+    }
+}
+
+impl UnrollOptions {
+    /// Symbolic-initial-state unrolling (the IPC default).
+    pub fn symbolic_initial_state() -> Self {
+        Self::default()
+    }
+
+    /// Reset-state bounded model checking (used by the ablation experiments).
+    pub fn from_reset_state() -> Self {
+        Self {
+            use_initial_values: true,
+            conflict_limit: None,
+        }
+    }
+
+    /// Sets the solver conflict budget.
+    pub fn with_conflict_limit(mut self, limit: Option<u64>) -> Self {
+        self.conflict_limit = limit;
+        self
+    }
+}
+
+/// A netlist unrolled over `k+1` time frames and bit-blasted into CNF.
+///
+/// Frame `t` describes the state *at* clock cycle `t`; the register values of
+/// frame `t+1` are the bit-blasted next-state functions evaluated in frame
+/// `t`. Primary inputs receive fresh variables in every frame, so the solver
+/// searches over *all* input sequences — for the UPEC miter this is what
+/// makes the program symbolic.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::{Netlist, BitVec};
+/// use bmc::{Unrolling, UnrollOptions};
+///
+/// let mut n = Netlist::new("counter");
+/// let c = n.register_init("c", 4, BitVec::zero(4));
+/// let one = n.lit(1, 4);
+/// let next = n.add(c.value(), one);
+/// n.set_next(c, next);
+/// n.output("c", c.value());
+///
+/// let mut unrolling = Unrolling::new(&n, UnrollOptions::from_reset_state());
+/// unrolling.extend_to(3);
+/// // After 3 cycles from reset the counter must hold 3.
+/// let must_be_three = unrolling.assume_signal_equals_const(3, c.value(), 3);
+/// assert!(must_be_three.is_ok());
+/// assert!(unrolling.solve(&[]).is_sat());
+/// ```
+#[derive(Debug)]
+pub struct Unrolling<'n> {
+    netlist: &'n Netlist,
+    gates: GateBuilder,
+    options: UnrollOptions,
+    /// `frames[t][signal]` = literals of the signal in frame `t`, LSB first.
+    frames: Vec<Vec<Vec<Lit>>>,
+    /// Registers whose frame-0 value shares the literals of another register
+    /// (used by miter-style proofs to state "these start equal" structurally
+    /// instead of through equality clauses).
+    frame0_aliases: std::collections::HashMap<usize, SignalId>,
+}
+
+/// Error returned when a constraint refers to a signal of the wrong shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnrollError {
+    /// A single-bit signal was required.
+    NotABit {
+        /// The offending signal.
+        signal: SignalId,
+        /// Its actual width.
+        width: u32,
+    },
+    /// Two signals that must have equal widths do not.
+    WidthMismatch {
+        /// Left signal width.
+        left: u32,
+        /// Right signal width.
+        right: u32,
+    },
+    /// The requested frame has not been built yet.
+    FrameOutOfRange {
+        /// Requested frame.
+        frame: usize,
+        /// Number of frames built.
+        built: usize,
+    },
+}
+
+impl std::fmt::Display for UnrollError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnrollError::NotABit { signal, width } => {
+                write!(f, "signal {signal} is {width} bits wide, expected a single bit")
+            }
+            UnrollError::WidthMismatch { left, right } => {
+                write!(f, "width mismatch between constrained signals: {left} vs {right}")
+            }
+            UnrollError::FrameOutOfRange { frame, built } => {
+                write!(f, "frame {frame} not built yet (only {built} frames exist)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnrollError {}
+
+impl<'n> Unrolling<'n> {
+    /// Creates an unrolling with frame 0 built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails [`Netlist::validate`].
+    pub fn new(netlist: &'n Netlist, options: UnrollOptions) -> Self {
+        Self::with_frame0_aliases(netlist, options, &[])
+    }
+
+    /// Creates an unrolling in which, for every `(register, source)` pair in
+    /// `aliases`, the frame-0 value of `register` reuses the literals of
+    /// `source` (both must be register-value signals of equal width).
+    ///
+    /// This expresses "these two registers start out equal" *structurally*,
+    /// which — combined with the gate-level structural hashing — lets the two
+    /// halves of a miter collapse onto shared variables wherever they have
+    /// not yet diverged. The UPEC checks use it for the `micro_soc_state1 =
+    /// micro_soc_state2` assumption of the paper's Fig. 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is invalid or an alias pair has mismatched
+    /// widths or refers to non-register signals.
+    pub fn with_frame0_aliases(
+        netlist: &'n Netlist,
+        options: UnrollOptions,
+        aliases: &[(SignalId, SignalId)],
+    ) -> Self {
+        netlist
+            .validate()
+            .expect("netlist must be valid before unrolling");
+        let mut frame0_aliases = std::collections::HashMap::new();
+        for &(register, source) in aliases {
+            assert!(
+                netlist.node(register).is_register() && netlist.node(source).is_register(),
+                "frame-0 aliases must pair register signals"
+            );
+            assert_eq!(
+                netlist.width(register),
+                netlist.width(source),
+                "frame-0 alias width mismatch"
+            );
+            assert!(
+                source.index() < register.index(),
+                "the alias source must be created before the aliased register"
+            );
+            frame0_aliases.insert(register.index(), source);
+        }
+        let mut gates = GateBuilder::new();
+        if let Some(limit) = options.conflict_limit {
+            gates.solver_mut().set_conflict_limit(Some(limit));
+        }
+        let mut unrolling = Self {
+            netlist,
+            gates,
+            options,
+            frames: Vec::new(),
+            frame0_aliases,
+        };
+        unrolling.build_frame();
+        unrolling
+    }
+
+    /// The unrolled netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Number of frames built so far (at least 1).
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of CNF variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.gates.solver().num_vars()
+    }
+
+    /// Number of problem clauses generated so far.
+    pub fn num_clauses(&self) -> usize {
+        self.gates.solver().num_clauses()
+    }
+
+    /// Ensures frames `0..=k` exist.
+    pub fn extend_to(&mut self, k: usize) {
+        while self.frames.len() <= k {
+            self.build_frame();
+        }
+    }
+
+    fn build_frame(&mut self) {
+        let t = self.frames.len();
+        let mut frame: Vec<Vec<Lit>> = Vec::with_capacity(self.netlist.len());
+        for id in self.netlist.signals() {
+            let lits = self.encode_node(t, id, &frame);
+            frame.push(lits);
+        }
+        self.frames.push(frame);
+    }
+
+    fn fresh_word(&mut self, width: u32) -> Vec<Lit> {
+        (0..width).map(|_| self.gates.fresh()).collect()
+    }
+
+    fn const_word(&mut self, value: BitVec) -> Vec<Lit> {
+        (0..value.width())
+            .map(|i| self.gates.constant(value.get_bit(i)))
+            .collect()
+    }
+
+    fn encode_node(&mut self, t: usize, id: SignalId, frame: &[Vec<Lit>]) -> Vec<Lit> {
+        match self.netlist.node(id) {
+            Node::Input { width, .. } => self.fresh_word(*width),
+            Node::Const(v) => self.const_word(*v),
+            Node::Register { register, width, .. } => {
+                let info = &self.netlist.registers()[register.index()];
+                if t == 0 {
+                    if let Some(&source) = self.frame0_aliases.get(&id.index()) {
+                        return frame[source.index()].clone();
+                    }
+                    match (self.options.use_initial_values, info.init) {
+                        (true, Some(init)) => self.const_word(init),
+                        _ => self.fresh_word(*width),
+                    }
+                } else {
+                    // The register's value in frame t is its next-state
+                    // expression evaluated in frame t-1.
+                    let next = info
+                        .next
+                        .expect("validated netlists give every register a next-state");
+                    self.frames[t - 1][next.index()].clone()
+                }
+            }
+            Node::Unary { op, a, .. } => {
+                let a = frame[a.index()].clone();
+                self.encode_unary(*op, &a)
+            }
+            Node::Binary { op, a, b, .. } => {
+                let a = frame[a.index()].clone();
+                let b = frame[b.index()].clone();
+                self.encode_binary(*op, &a, &b)
+            }
+            Node::Mux {
+                cond, then_, else_, ..
+            } => {
+                let c = frame[cond.index()][0];
+                let t_lits = frame[then_.index()].clone();
+                let e_lits = frame[else_.index()].clone();
+                t_lits
+                    .iter()
+                    .zip(&e_lits)
+                    .map(|(&tl, &el)| self.gates.mux(c, tl, el))
+                    .collect()
+            }
+            Node::Slice { a, hi, lo } => {
+                let a = &frame[a.index()];
+                a[*lo as usize..=*hi as usize].to_vec()
+            }
+            Node::Concat { hi, lo, .. } => {
+                let mut lits = frame[lo.index()].clone();
+                lits.extend_from_slice(&frame[hi.index()]);
+                lits
+            }
+        }
+    }
+
+    fn encode_unary(&mut self, op: UnaryOp, a: &[Lit]) -> Vec<Lit> {
+        match op {
+            UnaryOp::Not => a.iter().map(|&l| !l).collect(),
+            UnaryOp::Neg => {
+                // -a = ~a + 1 via a ripple-carry increment.
+                let inverted: Vec<Lit> = a.iter().map(|&l| !l).collect();
+                let mut carry = self.gates.true_lit();
+                let mut out = Vec::with_capacity(a.len());
+                for &bit in &inverted {
+                    let (sum, c) = self.gates.full_adder(bit, self.gates.false_lit(), carry);
+                    out.push(sum);
+                    carry = c;
+                }
+                out
+            }
+            UnaryOp::ReduceOr => vec![self.gates.or_many(a)],
+            UnaryOp::ReduceAnd => vec![self.gates.and_many(a)],
+            UnaryOp::ReduceXor => {
+                let mut acc = self.gates.false_lit();
+                for &l in a {
+                    acc = self.gates.xor(acc, l);
+                }
+                vec![acc]
+            }
+        }
+    }
+
+    fn ripple_add(&mut self, a: &[Lit], b: &[Lit], carry_in: Lit) -> (Vec<Lit>, Lit) {
+        let mut carry = carry_in;
+        let mut out = Vec::with_capacity(a.len());
+        for (&ai, &bi) in a.iter().zip(b) {
+            let (sum, c) = self.gates.full_adder(ai, bi, carry);
+            out.push(sum);
+            carry = c;
+        }
+        (out, carry)
+    }
+
+    fn encode_unsigned_less_than(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        // a < b  iff  the subtraction a - b = a + ~b + 1 produces no carry out.
+        let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+        let (_, carry) = self.ripple_add(a, &nb, self.gates.true_lit());
+        !carry
+    }
+
+    fn encode_binary(&mut self, op: BinaryOp, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        match op {
+            BinaryOp::And => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| self.gates.and(x, y))
+                .collect(),
+            BinaryOp::Or => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| self.gates.or(x, y))
+                .collect(),
+            BinaryOp::Xor => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| self.gates.xor(x, y))
+                .collect(),
+            BinaryOp::Add => {
+                let (sum, _) = self.ripple_add(a, b, self.gates.false_lit());
+                sum
+            }
+            BinaryOp::Sub => {
+                let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+                let (diff, _) = self.ripple_add(a, &nb, self.gates.true_lit());
+                diff
+            }
+            BinaryOp::Eq => {
+                let bits: Vec<Lit> = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| self.gates.xnor(x, y))
+                    .collect();
+                vec![self.gates.and_many(&bits)]
+            }
+            BinaryOp::Ne => {
+                let bits: Vec<Lit> = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| self.gates.xor(x, y))
+                    .collect();
+                vec![self.gates.or_many(&bits)]
+            }
+            BinaryOp::Ult => vec![self.encode_unsigned_less_than(a, b)],
+            BinaryOp::Ule => {
+                let gt = self.encode_unsigned_less_than(b, a);
+                vec![!gt]
+            }
+            BinaryOp::Slt => {
+                let sa = *a.last().expect("slt operand is at least one bit");
+                let sb = *b.last().expect("slt operand is at least one bit");
+                let ult = self.encode_unsigned_less_than(a, b);
+                // If the sign bits differ, a < b iff a is negative; otherwise
+                // the unsigned comparison gives the right answer.
+                let signs_differ = self.gates.xor(sa, sb);
+                vec![self.gates.mux(signs_differ, sa, ult)]
+            }
+            BinaryOp::Shl => self.encode_shift(a, b, true),
+            BinaryOp::Shr => self.encode_shift(a, b, false),
+        }
+    }
+
+    fn encode_shift(&mut self, a: &[Lit], amount: &[Lit], left: bool) -> Vec<Lit> {
+        let width = a.len();
+        let mut current = a.to_vec();
+        let mut overflow = self.gates.false_lit();
+        for (i, &amount_bit) in amount.iter().enumerate() {
+            let shift = 1usize << i.min(63);
+            if shift >= width {
+                overflow = self.gates.or(overflow, amount_bit);
+                continue;
+            }
+            let shifted: Vec<Lit> = (0..width)
+                .map(|bit| {
+                    let source = if left {
+                        bit.checked_sub(shift)
+                    } else {
+                        let s = bit + shift;
+                        (s < width).then_some(s)
+                    };
+                    match source {
+                        Some(s) => current[s],
+                        None => self.gates.false_lit(),
+                    }
+                })
+                .collect();
+            current = current
+                .iter()
+                .zip(&shifted)
+                .map(|(&keep, &moved)| self.gates.mux(amount_bit, moved, keep))
+                .collect();
+        }
+        // Shift amounts >= width produce zero.
+        current
+            .iter()
+            .map(|&bit| self.gates.mux(overflow, self.gates.false_lit(), bit))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Constraints, queries and model extraction
+    // ------------------------------------------------------------------
+
+    fn check_frame(&self, frame: usize) -> Result<(), UnrollError> {
+        if frame >= self.frames.len() {
+            Err(UnrollError::FrameOutOfRange {
+                frame,
+                built: self.frames.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Literals of a signal in a frame (LSB first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnrollError::FrameOutOfRange`] if the frame is not built.
+    pub fn lits(&self, frame: usize, signal: SignalId) -> Result<&[Lit], UnrollError> {
+        self.check_frame(frame)?;
+        Ok(&self.frames[frame][signal.index()])
+    }
+
+    /// Literal of a single-bit signal in a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the signal is wider than one bit or the frame is
+    /// not built.
+    pub fn bit_lit(&self, frame: usize, signal: SignalId) -> Result<Lit, UnrollError> {
+        let lits = self.lits(frame, signal)?;
+        if lits.len() != 1 {
+            return Err(UnrollError::NotABit {
+                signal,
+                width: lits.len() as u32,
+            });
+        }
+        Ok(lits[0])
+    }
+
+    /// Adds a hard constraint that a single-bit signal is true in a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the signal is not a single bit or the frame is not
+    /// built.
+    pub fn assume_signal_true(&mut self, frame: usize, signal: SignalId) -> Result<(), UnrollError> {
+        let lit = self.bit_lit(frame, signal)?;
+        self.gates.assert_true(lit);
+        Ok(())
+    }
+
+    /// Adds a hard constraint that a single-bit signal is false in a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the signal is not a single bit or the frame is not
+    /// built.
+    pub fn assume_signal_false(&mut self, frame: usize, signal: SignalId) -> Result<(), UnrollError> {
+        let lit = self.bit_lit(frame, signal)?;
+        self.gates.assert_true(!lit);
+        Ok(())
+    }
+
+    /// Adds a hard constraint that two equally wide signals are equal in a
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on width mismatch or unbuilt frame.
+    pub fn assume_signals_equal(
+        &mut self,
+        frame: usize,
+        a: SignalId,
+        b: SignalId,
+    ) -> Result<(), UnrollError> {
+        self.check_frame(frame)?;
+        let a_lits = self.frames[frame][a.index()].clone();
+        let b_lits = self.frames[frame][b.index()].clone();
+        if a_lits.len() != b_lits.len() {
+            return Err(UnrollError::WidthMismatch {
+                left: a_lits.len() as u32,
+                right: b_lits.len() as u32,
+            });
+        }
+        for (x, y) in a_lits.into_iter().zip(b_lits) {
+            self.gates.assert_equal(x, y);
+        }
+        Ok(())
+    }
+
+    /// Adds a hard constraint that a signal holds a constant value in a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the frame is not built.
+    pub fn assume_signal_equals_const(
+        &mut self,
+        frame: usize,
+        signal: SignalId,
+        value: u64,
+    ) -> Result<(), UnrollError> {
+        self.check_frame(frame)?;
+        let lits = self.frames[frame][signal.index()].clone();
+        let value = BitVec::new(value, lits.len() as u32);
+        for (i, lit) in lits.into_iter().enumerate() {
+            if value.get_bit(i as u32) {
+                self.gates.assert_true(lit);
+            } else {
+                self.gates.assert_true(!lit);
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds (without asserting) a literal that is true iff two signals are
+    /// equal in a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on width mismatch or unbuilt frame.
+    pub fn equality_lit(
+        &mut self,
+        frame: usize,
+        a: SignalId,
+        b: SignalId,
+    ) -> Result<Lit, UnrollError> {
+        self.check_frame(frame)?;
+        let a_lits = self.frames[frame][a.index()].clone();
+        let b_lits = self.frames[frame][b.index()].clone();
+        if a_lits.len() != b_lits.len() {
+            return Err(UnrollError::WidthMismatch {
+                left: a_lits.len() as u32,
+                right: b_lits.len() as u32,
+            });
+        }
+        let bits: Vec<Lit> = a_lits
+            .into_iter()
+            .zip(b_lits)
+            .map(|(x, y)| self.gates.xnor(x, y))
+            .collect();
+        Ok(self.gates.and_many(&bits))
+    }
+
+    /// Adds an arbitrary clause over previously obtained literals.
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        self.gates.add_clause(lits);
+    }
+
+    /// Allocates a fresh free literal (useful for selector/relaxation
+    /// variables in iterative flows).
+    pub fn fresh_lit(&mut self) -> Lit {
+        self.gates.fresh()
+    }
+
+    /// Runs the SAT solver under the given assumption literals.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.gates.solver_mut().solve_with_assumptions(assumptions)
+    }
+
+    /// Conflict statistics of the underlying solver.
+    pub fn solver_stats(&self) -> sat::SolverStats {
+        self.gates.solver().stats()
+    }
+
+    /// Reads the value of a signal in a frame from a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the frame is not built.
+    pub fn value_in_model(
+        &self,
+        model: &Model,
+        frame: usize,
+        signal: SignalId,
+    ) -> Result<BitVec, UnrollError> {
+        self.check_frame(frame)?;
+        let lits = &self.frames[frame][signal.index()];
+        let mut v = BitVec::zero(lits.len() as u32);
+        for (i, &lit) in lits.iter().enumerate() {
+            v = v.with_bit(i as u32, model.lit_is_true(lit));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Builds a small combinational netlist exercising every operator, then
+    /// cross-checks the bit-blasted encoding against the word-level
+    /// simulator semantics for random inputs.
+    #[test]
+    fn bitblasting_matches_word_level_semantics() {
+        let width = 6u32;
+        let mut n = Netlist::new("ops");
+        let a = n.input("a", width);
+        let b = n.input("b", width);
+        let shift_amount = n.input("sh", 3);
+        let ops: Vec<(&str, SignalId)> = vec![
+            ("and", n.and(a, b)),
+            ("or", n.or(a, b)),
+            ("xor", n.xor(a, b)),
+            ("add", n.add(a, b)),
+            ("sub", n.sub(a, b)),
+            ("not", n.not(a)),
+            ("neg", n.neg(a)),
+            ("eq", n.eq(a, b)),
+            ("ne", n.ne(a, b)),
+            ("ult", n.ult(a, b)),
+            ("ule", n.ule(a, b)),
+            ("slt", n.slt(a, b)),
+            ("shl", n.shl(a, shift_amount)),
+            ("shr", n.shr(a, shift_amount)),
+            ("redor", n.reduce_or(a)),
+            ("redand", n.reduce_and(a)),
+            ("redxor", n.reduce_xor(a)),
+            ("slice", n.slice(a, 4, 2)),
+            ("concat", n.concat(a, b)),
+        ];
+        let cond = n.bit(b, 0);
+        let mux = n.mux(cond, a, b);
+        let mut ops = ops;
+        ops.push(("mux", mux));
+
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..12 {
+            let av = rng.gen_range(0..(1u64 << width));
+            let bv = rng.gen_range(0..(1u64 << width));
+            let sh = rng.gen_range(0..8u64);
+
+            // Reference: evaluate through the word-level BitVec semantics.
+            let abv = BitVec::new(av, width);
+            let bbv = BitVec::new(bv, width);
+            let expected: Vec<(String, BitVec)> = ops
+                .iter()
+                .map(|(name, _)| {
+                    let value = match *name {
+                        "and" => abv.and(&bbv),
+                        "or" => abv.or(&bbv),
+                        "xor" => abv.xor(&bbv),
+                        "add" => abv.add(&bbv),
+                        "sub" => abv.sub(&bbv),
+                        "not" => abv.not(),
+                        "neg" => abv.neg(),
+                        "eq" => abv.eq_bit(&bbv),
+                        "ne" => abv.eq_bit(&bbv).not(),
+                        "ult" => abv.ult(&bbv),
+                        "ule" => abv.ule(&bbv),
+                        "slt" => abv.slt(&bbv),
+                        "shl" => abv.shl(sh.min(u64::from(width)) as u32),
+                        "shr" => abv.shr(sh.min(u64::from(width)) as u32),
+                        "redor" => abv.reduce_or(),
+                        "redand" => abv.reduce_and(),
+                        "redxor" => abv.reduce_xor(),
+                        "slice" => abv.slice(4, 2),
+                        "concat" => abv.concat(&bbv),
+                        "mux" => {
+                            if bbv.get_bit(0) {
+                                abv
+                            } else {
+                                bbv
+                            }
+                        }
+                        other => panic!("unknown op {other}"),
+                    };
+                    (name.to_string(), value)
+                })
+                .collect();
+
+            let mut u = Unrolling::new(&n, UnrollOptions::default());
+            u.assume_signal_equals_const(0, a, av).unwrap();
+            u.assume_signal_equals_const(0, b, bv).unwrap();
+            u.assume_signal_equals_const(0, shift_amount, sh).unwrap();
+            let result = u.solve(&[]);
+            let model = result.model().expect("combinational cone is satisfiable");
+            for ((name, signal), (ename, evalue)) in ops.iter().zip(&expected) {
+                assert_eq!(name, ename);
+                let got = u.value_in_model(model, 0, *signal).unwrap();
+                assert_eq!(
+                    got, *evalue,
+                    "operator {name} disagrees for a={av:#x} b={bv:#x} sh={sh}"
+                );
+            }
+        }
+    }
+
+    fn counter_netlist() -> (Netlist, rtl::RegisterHandle) {
+        let mut n = Netlist::new("counter");
+        let c = n.register_init("c", 4, BitVec::zero(4));
+        let one = n.lit(1, 4);
+        let next = n.add(c.value(), one);
+        n.set_next(c, next);
+        (n, c)
+    }
+
+    #[test]
+    fn sequential_unrolling_from_reset_matches_counting() {
+        let (n, c) = counter_netlist();
+        let mut u = Unrolling::new(&n, UnrollOptions::from_reset_state());
+        u.extend_to(5);
+        assert_eq!(u.frame_count(), 6);
+        // The counter value at frame 5 must be 5; asserting anything else is
+        // unsatisfiable.
+        u.assume_signal_equals_const(5, c.value(), 5).unwrap();
+        assert!(u.solve(&[]).is_sat());
+        u.assume_signal_equals_const(4, c.value(), 0).unwrap();
+        assert!(u.solve(&[]).is_unsat());
+    }
+
+    #[test]
+    fn symbolic_initial_state_allows_any_start() {
+        let (n, c) = counter_netlist();
+        let mut u = Unrolling::new(&n, UnrollOptions::symbolic_initial_state());
+        u.extend_to(2);
+        // From a symbolic initial state the counter can reach 9 at frame 2
+        // (by starting at 7), which is impossible from reset.
+        u.assume_signal_equals_const(2, c.value(), 9).unwrap();
+        let result = u.solve(&[]);
+        let model = result.model().expect("sat");
+        let start = u.value_in_model(model, 0, c.value()).unwrap();
+        assert_eq!(start.as_u64(), 7);
+    }
+
+    #[test]
+    fn equality_lit_and_assumptions() {
+        let mut n = Netlist::new("eq");
+        let a = n.input("a", 4);
+        let b = n.input("b", 4);
+        n.output("a", a);
+        let mut u = Unrolling::new(&n, UnrollOptions::default());
+        let eq = u.equality_lit(0, a, b).unwrap();
+        // Force inequality and equality through assumptions.
+        assert!(u.solve(&[eq]).is_sat());
+        assert!(u.solve(&[!eq]).is_sat());
+        u.assume_signals_equal(0, a, b).unwrap();
+        assert!(u.solve(&[!eq]).is_unsat());
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let mut n = Netlist::new("err");
+        let a = n.input("a", 4);
+        let b = n.input("b", 2);
+        n.output("a", a);
+        let mut u = Unrolling::new(&n, UnrollOptions::default());
+        assert!(matches!(
+            u.bit_lit(0, a),
+            Err(UnrollError::NotABit { .. })
+        ));
+        assert!(matches!(
+            u.assume_signals_equal(0, a, b),
+            Err(UnrollError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            u.lits(3, a),
+            Err(UnrollError::FrameOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_is_reported_under_tiny_conflict_budget() {
+        // A multiplier-free but non-trivial equivalence: (a + b) == (b + a)
+        // is easy, so instead make the solver prove a ^ b ^ a ^ b == 0 over
+        // many frames with an extremely small budget to trigger Unknown on
+        // at least some runs; to stay deterministic we just check that the
+        // API accepts a limit and still returns a definitive answer when the
+        // limit is generous.
+        let (n, c) = counter_netlist();
+        let mut u = Unrolling::new(
+            &n,
+            UnrollOptions::from_reset_state().with_conflict_limit(Some(1_000_000)),
+        );
+        u.extend_to(2);
+        u.assume_signal_equals_const(2, c.value(), 2).unwrap();
+        assert!(u.solve(&[]).is_sat());
+    }
+}

@@ -1,0 +1,382 @@
+//! Checking the UPEC property on a bounded model and classifying
+//! counterexamples into P-alerts and L-alerts (paper Defs. 6 and 7).
+
+use crate::{RegisterPair, StateClass, UpecModel};
+use bmc::{UnrollOptions, Unrolling};
+use rtl::BitVec;
+use sat::SatResult;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Options for a single UPEC property check.
+#[derive(Debug, Clone, Copy)]
+pub struct UpecOptions {
+    /// Window length `k` (number of clock cycles after the symbolic starting
+    /// time point).
+    pub window: usize,
+    /// Optional SAT conflict budget; exceeded budgets yield
+    /// [`UpecOutcome::Unknown`] (the paper's "not feasible" windows).
+    pub conflict_limit: Option<u64>,
+    /// Use the registers' reset values instead of a symbolic initial state
+    /// (only used by the ablation study; real UPEC runs keep this `false`).
+    pub from_reset_state: bool,
+}
+
+impl UpecOptions {
+    /// Creates options for a window of `k` cycles.
+    pub fn window(k: usize) -> Self {
+        Self {
+            window: k,
+            conflict_limit: None,
+            from_reset_state: false,
+        }
+    }
+
+    /// Sets the SAT conflict budget.
+    pub fn with_conflict_limit(mut self, limit: Option<u64>) -> Self {
+        self.conflict_limit = limit;
+        self
+    }
+
+    /// Switches to reset-state bounded model checking (ablation only).
+    pub fn from_reset(mut self) -> Self {
+        self.from_reset_state = true;
+        self
+    }
+}
+
+/// Severity of a UPEC counterexample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Secret data reached a program-invisible microarchitectural register
+    /// (necessary but not sufficient for a covert channel).
+    PAlert,
+    /// Secret data affects an architectural register or the timing of its
+    /// updates: a covert channel exists.
+    LAlert,
+}
+
+/// A counterexample to the UPEC property.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// P-alert or L-alert.
+    pub kind: AlertKind,
+    /// Window length at which the alert was found.
+    pub window: usize,
+    /// Names of the differing architectural registers (non-empty for
+    /// L-alerts).
+    pub architectural_differences: Vec<String>,
+    /// Names of the differing microarchitectural registers.
+    pub microarchitectural_differences: Vec<String>,
+    /// Final-frame values `(name, instance 1, instance 2)` of the differing
+    /// registers, for diagnosis.
+    pub differing_values: Vec<(String, BitVec, BitVec)>,
+}
+
+impl Alert {
+    /// All differing register names regardless of class.
+    pub fn differing_registers(&self) -> Vec<String> {
+        self.architectural_differences
+            .iter()
+            .chain(&self.microarchitectural_differences)
+            .cloned()
+            .collect()
+    }
+}
+
+/// Statistics of one UPEC property check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpecStats {
+    /// CNF variables in the unrolled miter.
+    pub variables: usize,
+    /// CNF clauses in the unrolled miter.
+    pub clauses: usize,
+    /// SAT conflicts spent.
+    pub conflicts: u64,
+    /// Wall-clock runtime of the check.
+    pub runtime: Duration,
+    /// Window length checked.
+    pub window: usize,
+}
+
+/// Verdict of one UPEC property check.
+#[derive(Debug, Clone)]
+pub enum UpecOutcome {
+    /// The property holds: no state in the commitment can differ at `t+k`.
+    Proven(UpecStats),
+    /// The property is violated.
+    Violated(Alert, UpecStats),
+    /// The solver gave up (conflict budget exhausted).
+    Unknown(UpecStats),
+}
+
+impl UpecOutcome {
+    /// Whether the property was proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, UpecOutcome::Proven(_))
+    }
+
+    /// The alert, if the property was violated.
+    pub fn alert(&self) -> Option<&Alert> {
+        match self {
+            UpecOutcome::Violated(alert, _) => Some(alert),
+            _ => None,
+        }
+    }
+
+    /// Statistics of the check.
+    pub fn stats(&self) -> UpecStats {
+        match self {
+            UpecOutcome::Proven(s) | UpecOutcome::Violated(_, s) | UpecOutcome::Unknown(s) => *s,
+        }
+    }
+}
+
+/// Checks the UPEC interval property (paper Fig. 4) on a [`UpecModel`].
+#[derive(Debug, Clone, Default)]
+pub struct UpecChecker;
+
+impl UpecChecker {
+    /// Creates a checker.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Checks the property with the obligation restricted to `commitment`
+    /// (register-pair names). Pairs outside the commitment may freely differ
+    /// at `t+k` — this is how the methodology tolerates already-diagnosed
+    /// P-alerts. Memory-class pairs are never part of the obligation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a commitment name does not exist in the model.
+    pub fn check(
+        &self,
+        model: &UpecModel,
+        options: UpecOptions,
+        commitment: &BTreeSet<String>,
+    ) -> UpecOutcome {
+        let start = Instant::now();
+        let unroll_options = UnrollOptions {
+            use_initial_values: options.from_reset_state,
+            conflict_limit: options.conflict_limit,
+        };
+        // Assumption: all logic state equal at t (Fig. 3) — architectural and
+        // microarchitectural registers alike. This is expressed structurally
+        // (instance 2's frame-0 registers reuse instance 1's literals);
+        // memory-class registers are covered by the conditional
+        // memory-equivalence constraint instead.
+        let aliases = frame0_aliases(model, options.from_reset_state);
+        let mut unrolling =
+            Unrolling::with_frame0_aliases(model.netlist(), unroll_options, &aliases);
+        let k = options.window;
+        unrolling.extend_to(k);
+        // Initial (at t) constraints.
+        for constraint in model.initial_constraints() {
+            unrolling
+                .assume_signal_true(0, constraint.signal)
+                .unwrap_or_else(|e| panic!("constraint `{}` malformed: {e}", constraint.label));
+        }
+        // Window (during t..t+k) constraints.
+        for constraint in model.window_constraints() {
+            for frame in 0..=k {
+                unrolling
+                    .assume_signal_true(frame, constraint.signal)
+                    .unwrap_or_else(|e| panic!("constraint `{}` malformed: {e}", constraint.label));
+            }
+        }
+
+        // Obligation: every commitment pair equal at t+k. Ask the solver for
+        // a violation of at least one of them.
+        let committed: Vec<&RegisterPair> = model
+            .pairs()
+            .iter()
+            .filter(|p| p.class != StateClass::Memory && commitment.contains(&p.name))
+            .collect();
+        for name in commitment {
+            assert!(
+                model.pair(name).is_some(),
+                "commitment refers to unknown register `{name}`"
+            );
+        }
+        assert!(!committed.is_empty(), "commitment must not be empty");
+        let obligation_lits: Vec<(String, sat::Lit)> = committed
+            .iter()
+            .map(|p| {
+                let lit = unrolling
+                    .bit_lit(k, p.equal)
+                    .expect("equality signals are single bits");
+                (p.name.clone(), lit)
+            })
+            .collect();
+        unrolling.add_clause(obligation_lits.iter().map(|(_, l)| !*l));
+
+        let result = unrolling.solve(&[]);
+        let solver_stats = unrolling.solver_stats();
+        let stats = UpecStats {
+            variables: unrolling.num_vars(),
+            clauses: unrolling.num_clauses(),
+            conflicts: solver_stats.conflicts,
+            runtime: start.elapsed(),
+            window: k,
+        };
+
+        match result {
+            SatResult::Unsat => UpecOutcome::Proven(stats),
+            SatResult::Unknown => UpecOutcome::Unknown(stats),
+            SatResult::Sat(sat_model) => {
+                let mut arch = Vec::new();
+                let mut micro = Vec::new();
+                let mut values = Vec::new();
+                for pair in &committed {
+                    let v1 = unrolling
+                        .value_in_model(&sat_model, k, pair.signal1)
+                        .expect("frame exists");
+                    let v2 = unrolling
+                        .value_in_model(&sat_model, k, pair.signal2)
+                        .expect("frame exists");
+                    if v1 != v2 {
+                        match pair.class {
+                            StateClass::Architectural => arch.push(pair.name.clone()),
+                            StateClass::Microarchitectural => micro.push(pair.name.clone()),
+                            StateClass::Memory => {}
+                        }
+                        values.push((pair.name.clone(), v1, v2));
+                    }
+                }
+                let kind = if arch.is_empty() {
+                    AlertKind::PAlert
+                } else {
+                    AlertKind::LAlert
+                };
+                UpecOutcome::Violated(
+                    Alert {
+                        kind,
+                        window: k,
+                        architectural_differences: arch,
+                        microarchitectural_differences: micro,
+                        differing_values: values,
+                    },
+                    stats,
+                )
+            }
+        }
+    }
+
+    /// Convenience: checks with the commitment set to *all* architectural and
+    /// microarchitectural registers (the first iteration of the
+    /// methodology).
+    pub fn check_full(&self, model: &UpecModel, options: UpecOptions) -> UpecOutcome {
+        let commitment = full_commitment(model);
+        self.check(model, options, &commitment)
+    }
+
+    /// Convenience: checks with the commitment restricted to architectural
+    /// registers only, so any counterexample is an L-alert.
+    pub fn check_architectural(&self, model: &UpecModel, options: UpecOptions) -> UpecOutcome {
+        let commitment: BTreeSet<String> = model
+            .pairs_of_class(StateClass::Architectural)
+            .map(|p| p.name.clone())
+            .collect();
+        self.check(model, options, &commitment)
+    }
+}
+
+/// Frame-0 alias pairs expressing the `micro_soc_state1 = micro_soc_state2`
+/// assumption structurally (not used for reset-state ablation runs, where the
+/// initial values already coincide).
+pub(crate) fn frame0_aliases(
+    model: &UpecModel,
+    from_reset_state: bool,
+) -> Vec<(rtl::SignalId, rtl::SignalId)> {
+    if from_reset_state {
+        return Vec::new();
+    }
+    model
+        .pairs()
+        .iter()
+        .filter(|p| p.class != StateClass::Memory)
+        .map(|p| (p.signal2, p.signal1))
+        .collect()
+}
+
+/// The full commitment: every architectural and microarchitectural register.
+pub fn full_commitment(model: &UpecModel) -> BTreeSet<String> {
+    model
+        .pairs()
+        .iter()
+        .filter(|p| p.class != StateClass::Memory)
+        .map(|p| p.name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SecretScenario;
+    use soc::{SocConfig, SocVariant};
+
+    fn tiny(variant: SocVariant) -> SocConfig {
+        SocConfig::new(variant)
+            .with_registers(4)
+            .with_cache_lines(2)
+            .with_miss_latency(1)
+            .with_store_latency(1)
+    }
+
+    #[test]
+    fn secret_not_in_cache_produces_no_alert_at_window_one() {
+        let model = UpecModel::new(&tiny(SocVariant::Secure), SecretScenario::NotInCache);
+        let outcome = UpecChecker::new().check_full(&model, UpecOptions::window(1));
+        assert!(outcome.is_proven(), "outcome: {outcome:?}");
+    }
+
+    #[test]
+    fn secret_in_cache_produces_a_p_alert_on_the_secure_design() {
+        let model = UpecModel::new(&tiny(SocVariant::Secure), SecretScenario::InCache);
+        let outcome = UpecChecker::new().check_full(&model, UpecOptions::window(2));
+        let alert = outcome.alert().expect("expected a propagation alert");
+        assert_eq!(alert.kind, AlertKind::PAlert, "alert: {alert:?}");
+        assert!(!alert.microarchitectural_differences.is_empty());
+    }
+
+    #[test]
+    fn secure_design_has_no_l_alert_at_small_windows() {
+        let model = UpecModel::new(&tiny(SocVariant::Secure), SecretScenario::InCache);
+        for k in 1..=2 {
+            let outcome = UpecChecker::new().check_architectural(&model, UpecOptions::window(k));
+            assert!(
+                outcome.is_proven(),
+                "unexpected L-alert at window {k}: {:?}",
+                outcome.alert()
+            );
+        }
+    }
+
+    #[test]
+    fn orc_variant_produces_an_l_alert() {
+        let model = UpecModel::new(&tiny(SocVariant::Orc), SecretScenario::InCache);
+        let mut found = None;
+        for k in 1..=5 {
+            let outcome = UpecChecker::new().check_architectural(&model, UpecOptions::window(k));
+            if let Some(alert) = outcome.alert() {
+                found = Some((k, alert.clone()));
+                break;
+            }
+        }
+        let (k, alert) = found.expect("the Orc variant must leak within five cycles");
+        assert_eq!(alert.kind, AlertKind::LAlert);
+        assert!(k >= 2, "timing difference needs at least the stall cycle");
+    }
+
+    #[test]
+    fn unknown_is_reported_when_the_budget_is_tiny() {
+        let model = UpecModel::new(&tiny(SocVariant::Secure), SecretScenario::InCache);
+        let options = UpecOptions::window(2).with_conflict_limit(Some(1));
+        let outcome = UpecChecker::new().check_full(&model, options);
+        assert!(
+            matches!(outcome, UpecOutcome::Unknown(_)) || outcome.alert().is_some(),
+            "a one-conflict budget cannot complete a proof: {outcome:?}"
+        );
+    }
+}

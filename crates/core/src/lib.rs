@@ -1,0 +1,54 @@
+//! # `upec` — Unique Program Execution Checking
+//!
+//! This crate implements the contribution of the DATE 2019 paper *"Processor
+//! Hardware Security Vulnerabilities and their Detection by Unique Program
+//! Execution Checking"*: an exhaustive, formal method that detects **covert
+//! channels** in a processor's RTL without needing to anticipate any specific
+//! attack.
+//!
+//! The flow mirrors the paper:
+//!
+//! 1. [`UpecModel`] builds the two-instance *miter* of Fig. 3 — two identical
+//!    SoC instances whose memories agree everywhere except at one protected
+//!    (secret) location — together with the side constraints of Sec. V
+//!    (no ongoing protected access, cache-protocol monitor, secure system
+//!    software, equality of non-protected memory).
+//! 2. [`UpecChecker`] checks the UPEC interval property of Fig. 4 on a
+//!    bounded model with a *symbolic initial state* (interval property
+//!    checking), classifying counterexamples into [`AlertKind::PAlert`] and
+//!    [`AlertKind::LAlert`] (Defs. 6/7).
+//! 3. [`run_methodology`] drives the iterative analysis of Fig. 5: P-alerting
+//!    registers are removed from the proof obligation until the design is
+//!    proven or an L-alert demonstrates a covert channel.
+//! 4. [`prove_alert_closure`] completes the argument for secure designs with
+//!    the inductive proof of Sec. VI: differences confined to the P-alerting
+//!    registers can never reach architectural state.
+//!
+//! # Example
+//!
+//! ```
+//! use soc::{SocConfig, SocVariant};
+//! use upec::{SecretScenario, UpecChecker, UpecModel, UpecOptions};
+//!
+//! // A small configuration keeps the proof fast for the doc test.
+//! let config = SocConfig::new(SocVariant::Secure)
+//!     .with_registers(4)
+//!     .with_cache_lines(2)
+//!     .with_miss_latency(1)
+//!     .with_store_latency(1);
+//! let model = UpecModel::new(&config, SecretScenario::NotInCache);
+//! let outcome = UpecChecker::new().check_full(&model, UpecOptions::window(1));
+//! assert!(outcome.is_proven());
+//! ```
+
+#![warn(missing_docs)]
+
+mod check;
+mod methodology;
+mod model;
+
+pub use check::{full_commitment, Alert, AlertKind, UpecChecker, UpecOptions, UpecOutcome, UpecStats};
+pub use methodology::{
+    prove_alert_closure, run_methodology, ClosureOutcome, MethodologyReport, Verdict,
+};
+pub use model::{NamedConstraint, RegisterPair, SecretScenario, StateClass, UpecModel};

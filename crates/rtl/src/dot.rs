@@ -1,0 +1,122 @@
+//! Graphviz (DOT) export of netlists for debugging and documentation.
+
+use crate::{Netlist, Node};
+use std::fmt::Write as _;
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// The output is intended for small design fragments (e.g. a single pipeline
+/// control block) — a full SoC produces a graph too large to lay out usefully.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::{Netlist, dot};
+///
+/// let mut n = Netlist::new("tiny");
+/// let a = n.input("a", 1);
+/// let b = n.input("b", 1);
+/// let y = n.and(a, b);
+/// n.output("y", y);
+/// let graph = dot::to_dot(&n);
+/// assert!(graph.starts_with("digraph tiny"));
+/// assert!(graph.contains("And"));
+/// ```
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(netlist.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for id in netlist.signals() {
+        let label = node_label(netlist, id);
+        let shape = match netlist.node(id) {
+            Node::Input { .. } => "invhouse",
+            Node::Register { .. } => "box3d",
+            Node::Const(_) => "plaintext",
+            Node::Mux { .. } => "trapezium",
+            _ => "box",
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\", shape={}];", id.index(), label, shape);
+        for op in netlist.node(id).operands() {
+            let _ = writeln!(out, "  n{} -> n{};", op.index(), id.index());
+        }
+    }
+    for reg in netlist.registers() {
+        if let Some(next) = reg.next {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style=dashed, label=\"next\"];",
+                next.index(),
+                reg.signal.index()
+            );
+        }
+    }
+    for port in netlist.outputs() {
+        let _ = writeln!(
+            out,
+            "  out_{} [label=\"{}\", shape=house];",
+            sanitize(&port.name),
+            port.name
+        );
+        let _ = writeln!(
+            out,
+            "  n{} -> out_{};",
+            port.signal.index(),
+            sanitize(&port.name)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn node_label(netlist: &Netlist, id: crate::SignalId) -> String {
+    let node = netlist.node(id);
+    let base = match node {
+        Node::Input { name, width } => format!("{name}[{width}]"),
+        Node::Const(v) => format!("{v}"),
+        Node::Register { name, width, .. } => format!("{name}[{width}]"),
+        Node::Unary { op, .. } => format!("{op:?}"),
+        Node::Binary { op, .. } => format!("{op:?}"),
+        Node::Mux { .. } => "Mux".to_string(),
+        Node::Slice { hi, lo, .. } => format!("[{hi}:{lo}]"),
+        Node::Concat { .. } => "Concat".to_string(),
+    };
+    sanitize(&base)
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_alphanumeric() || c == '[' || c == ']' || c == ':' || c == '\'' || c == '.' {
+            c
+        } else {
+            '_'
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_ports_and_register_edges() {
+        let mut n = Netlist::new("dot test");
+        let a = n.input("a", 2);
+        let r = n.register("state", 2);
+        n.set_next(r, a);
+        n.output("o", r.value());
+        let dot = to_dot(&n);
+        assert!(dot.contains("digraph dot_test"));
+        assert!(dot.contains("a[2]"));
+        assert!(dot.contains("state[2]"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("out_o"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn sanitize_replaces_awkward_characters() {
+        assert_eq!(sanitize("a b/c"), "a_b_c");
+        assert_eq!(sanitize("core.pc"), "core.pc");
+    }
+}

@@ -1,0 +1,142 @@
+//! Structural statistics over a netlist.
+
+use crate::{Netlist, Node};
+use std::fmt;
+
+/// Summary of the structural content of a [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use rtl::{Netlist, NetlistStats, BitVec};
+///
+/// let mut n = Netlist::new("d");
+/// let r = n.register_init("r", 8, BitVec::zero(8));
+/// let one = n.lit(1, 8);
+/// let next = n.add(r.value(), one);
+/// n.set_next(r, next);
+/// let stats = NetlistStats::of(&n);
+/// assert_eq!(stats.registers, 1);
+/// assert_eq!(stats.state_bits, 8);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Total width of all primary inputs in bits.
+    pub input_bits: u64,
+    /// Number of output ports.
+    pub outputs: usize,
+    /// Number of registers.
+    pub registers: usize,
+    /// Total number of state bits.
+    pub state_bits: u64,
+    /// Number of constant nodes.
+    pub constants: usize,
+    /// Number of unary operator nodes.
+    pub unary_ops: usize,
+    /// Number of binary operator nodes.
+    pub binary_ops: usize,
+    /// Number of multiplexers.
+    pub muxes: usize,
+    /// Number of slice nodes.
+    pub slices: usize,
+    /// Number of concatenation nodes.
+    pub concats: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut stats = NetlistStats {
+            nodes: netlist.len(),
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            registers: netlist.register_count(),
+            state_bits: netlist.state_bits(),
+            ..NetlistStats::default()
+        };
+        for id in netlist.signals() {
+            match netlist.node(id) {
+                Node::Input { width, .. } => stats.input_bits += u64::from(*width),
+                Node::Const(_) => stats.constants += 1,
+                Node::Register { .. } => {}
+                Node::Unary { .. } => stats.unary_ops += 1,
+                Node::Binary { .. } => stats.binary_ops += 1,
+                Node::Mux { .. } => stats.muxes += 1,
+                Node::Slice { .. } => stats.slices += 1,
+                Node::Concat { .. } => stats.concats += 1,
+            }
+        }
+        stats
+    }
+
+    /// Rough count of combinational operator nodes (excludes leaves).
+    pub fn logic_nodes(&self) -> usize {
+        self.unary_ops + self.binary_ops + self.muxes + self.slices + self.concats
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes:      {}", self.nodes)?;
+        writeln!(f, "inputs:     {} ({} bits)", self.inputs, self.input_bits)?;
+        writeln!(f, "outputs:    {}", self.outputs)?;
+        writeln!(f, "registers:  {} ({} state bits)", self.registers, self.state_bits)?;
+        writeln!(f, "constants:  {}", self.constants)?;
+        writeln!(f, "unary ops:  {}", self.unary_ops)?;
+        writeln!(f, "binary ops: {}", self.binary_ops)?;
+        writeln!(f, "muxes:      {}", self.muxes)?;
+        writeln!(f, "slices:     {}", self.slices)?;
+        write!(f, "concats:    {}", self.concats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitVec;
+
+    #[test]
+    fn stats_count_each_node_kind() {
+        let mut n = Netlist::new("stats");
+        let a = n.input("a", 4);
+        let b = n.input("b", 4);
+        let r = n.register_init("r", 4, BitVec::zero(4));
+        let sum = n.add(a, b);
+        let sel = n.input("sel", 1);
+        let next = n.mux(sel, sum, r.value());
+        n.set_next(r, next);
+        let hi = n.slice(sum, 3, 2);
+        let lo = n.slice(sum, 1, 0);
+        let cat = n.concat(hi, lo);
+        let inv = n.not(cat);
+        n.output("out", inv);
+
+        let stats = NetlistStats::of(&n);
+        assert_eq!(stats.inputs, 3);
+        assert_eq!(stats.input_bits, 9);
+        assert_eq!(stats.registers, 1);
+        assert_eq!(stats.state_bits, 4);
+        assert_eq!(stats.binary_ops, 1);
+        assert_eq!(stats.unary_ops, 1);
+        assert_eq!(stats.muxes, 1);
+        assert_eq!(stats.slices, 2);
+        assert_eq!(stats.concats, 1);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.logic_nodes(), 6);
+        assert_eq!(stats.nodes, n.len());
+    }
+
+    #[test]
+    fn display_contains_key_figures() {
+        let mut n = Netlist::new("d");
+        let x = n.input("x", 8);
+        n.output("y", x);
+        let text = NetlistStats::of(&n).to_string();
+        assert!(text.contains("inputs:     1 (8 bits)"));
+        assert!(text.contains("outputs:    1"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Constant bit-vector values.
+//!
+//! [`BitVec`] is the value domain of the word-level IR: a two-valued
+//! (0/1) bit vector of a fixed width between 1 and 64 bits. All arithmetic
+//! is performed modulo `2^width`, exactly like synthesizable RTL arithmetic.
+
+use std::fmt;
+
+/// Maximum supported bit-vector width.
+///
+/// The IR stores values in a `u64`, which is plenty for the register-transfer
+/// descriptions handled by this workspace (the MiniRV SoC uses 32-bit words).
+pub const MAX_WIDTH: u32 = 64;
+
+/// A constant two-valued bit vector of width 1..=64.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::BitVec;
+///
+/// let a = BitVec::new(0x0f, 8);
+/// let b = BitVec::new(0x01, 8);
+/// assert_eq!(a.add(&b).as_u64(), 0x10);
+/// assert_eq!(a.slice(3, 0).as_u64(), 0xf);
+/// assert_eq!(a.concat(&b).width(), 16);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitVec {
+    bits: u64,
+    width: u32,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `width` bits holding `value` truncated to the
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or larger than [`MAX_WIDTH`].
+    pub fn new(value: u64, width: u32) -> Self {
+        assert!(
+            width >= 1 && width <= MAX_WIDTH,
+            "bit-vector width {width} out of range 1..={MAX_WIDTH}"
+        );
+        Self {
+            bits: value & Self::mask(width),
+            width,
+        }
+    }
+
+    /// The all-zeros vector of the given width.
+    pub fn zero(width: u32) -> Self {
+        Self::new(0, width)
+    }
+
+    /// The all-ones vector of the given width.
+    pub fn ones(width: u32) -> Self {
+        Self::new(u64::MAX, width)
+    }
+
+    /// A single-bit vector holding `b`.
+    pub fn bit(b: bool) -> Self {
+        Self::new(u64::from(b), 1)
+    }
+
+    fn mask(width: u32) -> u64 {
+        if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Width of the vector in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Value as an unsigned integer.
+    pub fn as_u64(&self) -> u64 {
+        self.bits
+    }
+
+    /// Value as a signed integer (two's complement interpretation).
+    pub fn as_i64(&self) -> i64 {
+        let sign = 1u64 << (self.width - 1);
+        if self.bits & sign != 0 {
+            (self.bits | !Self::mask(self.width)) as i64
+        } else {
+            self.bits as i64
+        }
+    }
+
+    /// Whether the vector is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whether this is a single-bit vector equal to one.
+    pub fn is_true(&self) -> bool {
+        self.width == 1 && self.bits == 1
+    }
+
+    /// Returns bit `index` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn get_bit(&self, index: u32) -> bool {
+        assert!(index < self.width, "bit index {index} out of range");
+        (self.bits >> index) & 1 == 1
+    }
+
+    /// Returns a copy with bit `index` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn with_bit(&self, index: u32, value: bool) -> Self {
+        assert!(index < self.width, "bit index {index} out of range");
+        let bits = if value {
+            self.bits | (1 << index)
+        } else {
+            self.bits & !(1 << index)
+        };
+        Self {
+            bits,
+            width: self.width,
+        }
+    }
+
+    fn same_width(&self, other: &Self, op: &str) -> u32 {
+        assert_eq!(
+            self.width, other.width,
+            "width mismatch in {op}: {} vs {}",
+            self.width, other.width
+        );
+        self.width
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Self {
+        Self::new(!self.bits, self.width)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self) -> Self {
+        Self::new(self.bits.wrapping_neg(), self.width)
+    }
+
+    /// Bitwise AND. Panics on width mismatch.
+    pub fn and(&self, other: &Self) -> Self {
+        Self::new(self.bits & other.bits, self.same_width(other, "and"))
+    }
+
+    /// Bitwise OR. Panics on width mismatch.
+    pub fn or(&self, other: &Self) -> Self {
+        Self::new(self.bits | other.bits, self.same_width(other, "or"))
+    }
+
+    /// Bitwise XOR. Panics on width mismatch.
+    pub fn xor(&self, other: &Self) -> Self {
+        Self::new(self.bits ^ other.bits, self.same_width(other, "xor"))
+    }
+
+    /// Modular addition. Panics on width mismatch.
+    pub fn add(&self, other: &Self) -> Self {
+        Self::new(
+            self.bits.wrapping_add(other.bits),
+            self.same_width(other, "add"),
+        )
+    }
+
+    /// Modular subtraction. Panics on width mismatch.
+    pub fn sub(&self, other: &Self) -> Self {
+        Self::new(
+            self.bits.wrapping_sub(other.bits),
+            self.same_width(other, "sub"),
+        )
+    }
+
+    /// Equality comparison producing a single-bit vector.
+    pub fn eq_bit(&self, other: &Self) -> Self {
+        self.same_width(other, "eq");
+        Self::bit(self.bits == other.bits)
+    }
+
+    /// Unsigned less-than producing a single-bit vector.
+    pub fn ult(&self, other: &Self) -> Self {
+        self.same_width(other, "ult");
+        Self::bit(self.bits < other.bits)
+    }
+
+    /// Unsigned less-or-equal producing a single-bit vector.
+    pub fn ule(&self, other: &Self) -> Self {
+        self.same_width(other, "ule");
+        Self::bit(self.bits <= other.bits)
+    }
+
+    /// Signed less-than producing a single-bit vector.
+    pub fn slt(&self, other: &Self) -> Self {
+        self.same_width(other, "slt");
+        Self::bit(self.as_i64() < other.as_i64())
+    }
+
+    /// Logical shift left by a constant amount (zero fill).
+    pub fn shl(&self, amount: u32) -> Self {
+        if amount >= self.width {
+            Self::zero(self.width)
+        } else {
+            Self::new(self.bits << amount, self.width)
+        }
+    }
+
+    /// Logical shift right by a constant amount (zero fill).
+    pub fn shr(&self, amount: u32) -> Self {
+        if amount >= self.width {
+            Self::zero(self.width)
+        } else {
+            Self::new(self.bits >> amount, self.width)
+        }
+    }
+
+    /// OR-reduction to a single bit.
+    pub fn reduce_or(&self) -> Self {
+        Self::bit(self.bits != 0)
+    }
+
+    /// AND-reduction to a single bit.
+    pub fn reduce_and(&self) -> Self {
+        Self::bit(self.bits == Self::mask(self.width))
+    }
+
+    /// XOR-reduction (parity) to a single bit.
+    pub fn reduce_xor(&self) -> Self {
+        Self::bit(self.bits.count_ones() % 2 == 1)
+    }
+
+    /// Extracts bits `hi..=lo` (inclusive, `hi >= lo`) as a new vector of
+    /// width `hi - lo + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    pub fn slice(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "slice hi {hi} < lo {lo}");
+        assert!(hi < self.width, "slice hi {hi} out of range for width {}", self.width);
+        let w = hi - lo + 1;
+        Self::new(self.bits >> lo, w)
+    }
+
+    /// Concatenation: `self` becomes the most-significant part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    pub fn concat(&self, lo: &Self) -> Self {
+        let w = self.width + lo.width;
+        assert!(w <= MAX_WIDTH, "concat width {w} exceeds {MAX_WIDTH}");
+        Self::new((self.bits << lo.width) | lo.bits, w)
+    }
+
+    /// Zero-extends to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width.
+    pub fn zext(&self, width: u32) -> Self {
+        assert!(width >= self.width, "zext to narrower width");
+        Self::new(self.bits, width)
+    }
+
+    /// Sign-extends to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width.
+    pub fn sext(&self, width: u32) -> Self {
+        assert!(width >= self.width, "sext to narrower width");
+        let sign = self.get_bit(self.width - 1);
+        if sign {
+            let ext = Self::mask(width) & !Self::mask(self.width);
+            Self::new(self.bits | ext, width)
+        } else {
+            Self::new(self.bits, width)
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.bits)
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.bits)
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+impl From<bool> for BitVec {
+    fn from(b: bool) -> Self {
+        Self::bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_truncates_to_width() {
+        let v = BitVec::new(0x1ff, 8);
+        assert_eq!(v.as_u64(), 0xff);
+        assert_eq!(v.width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = BitVec::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn oversized_width_rejected() {
+        let _ = BitVec::new(0, 65);
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = BitVec::new(0xff, 8);
+        let b = BitVec::new(1, 8);
+        assert_eq!(a.add(&b).as_u64(), 0);
+    }
+
+    #[test]
+    fn sub_wraps_at_width() {
+        let a = BitVec::new(0, 8);
+        let b = BitVec::new(1, 8);
+        assert_eq!(a.sub(&b).as_u64(), 0xff);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        let v = BitVec::new(0xff, 8);
+        assert_eq!(v.as_i64(), -1);
+        let v = BitVec::new(0x7f, 8);
+        assert_eq!(v.as_i64(), 127);
+    }
+
+    #[test]
+    fn slt_uses_signed_order() {
+        let minus_one = BitVec::new(0xff, 8);
+        let one = BitVec::new(1, 8);
+        assert!(minus_one.slt(&one).is_true());
+        assert!(!one.slt(&minus_one).is_true());
+        assert!(one.ult(&minus_one).is_true());
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip() {
+        let v = BitVec::new(0xabcd, 16);
+        let hi = v.slice(15, 8);
+        let lo = v.slice(7, 0);
+        assert_eq!(hi.as_u64(), 0xab);
+        assert_eq!(lo.as_u64(), 0xcd);
+        assert_eq!(hi.concat(&lo), v);
+    }
+
+    #[test]
+    fn extensions() {
+        let v = BitVec::new(0x80, 8);
+        assert_eq!(v.zext(16).as_u64(), 0x0080);
+        assert_eq!(v.sext(16).as_u64(), 0xff80);
+        let v = BitVec::new(0x7f, 8);
+        assert_eq!(v.sext(16).as_u64(), 0x007f);
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(BitVec::new(0, 8).reduce_or().is_zero());
+        assert!(BitVec::new(4, 8).reduce_or().is_true());
+        assert!(BitVec::new(0xff, 8).reduce_and().is_true());
+        assert!(!BitVec::new(0xfe, 8).reduce_and().is_true());
+        assert!(BitVec::new(0b0111, 4).reduce_xor().is_true());
+        assert!(!BitVec::new(0b0110, 4).reduce_xor().is_true());
+    }
+
+    #[test]
+    fn shifts_saturate_to_zero() {
+        let v = BitVec::new(0xff, 8);
+        assert_eq!(v.shl(4).as_u64(), 0xf0);
+        assert_eq!(v.shr(4).as_u64(), 0x0f);
+        assert_eq!(v.shl(9).as_u64(), 0);
+        assert_eq!(v.shr(9).as_u64(), 0);
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = BitVec::new(0b1010, 4);
+        assert!(!v.get_bit(0));
+        assert!(v.get_bit(1));
+        assert_eq!(v.with_bit(0, true).as_u64(), 0b1011);
+        assert_eq!(v.with_bit(3, false).as_u64(), 0b0010);
+    }
+
+    #[test]
+    fn width_64_is_supported() {
+        let v = BitVec::new(u64::MAX, 64);
+        assert_eq!(v.as_u64(), u64::MAX);
+        assert_eq!(v.add(&BitVec::new(1, 64)).as_u64(), 0);
+        assert_eq!(v.as_i64(), -1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = BitVec::new(0x2a, 8);
+        assert_eq!(format!("{v}"), "8'h2a");
+        assert_eq!(format!("{v:x}"), "2a");
+        assert_eq!(format!("{v:b}"), "101010");
+    }
+}

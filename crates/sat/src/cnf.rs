@@ -1,0 +1,270 @@
+//! CNF formulas and DIMACS import/export.
+
+use crate::{Lit, Var};
+use std::fmt::Write as _;
+
+/// A formula in conjunctive normal form, independent of any solver instance.
+///
+/// `CnfFormula` is the hand-off format between the bit-blaster in the `bmc`
+/// crate and the [`Solver`](crate::Solver); it can also be serialized to the
+/// standard DIMACS format for cross-checking against external solvers.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{CnfFormula, Lit};
+///
+/// let mut cnf = CnfFormula::new();
+/// let a = cnf.new_var().positive();
+/// let b = cnf.new_var().positive();
+/// cnf.add_clause([a, b]);
+/// cnf.add_clause([!a]);
+/// assert_eq!(cnf.num_vars(), 2);
+/// assert_eq!(cnf.num_clauses(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable that has not been allocated.
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            assert!(
+                l.var().index() < self.num_vars,
+                "literal {l} refers to an unallocated variable"
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Iterates over the clauses.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses.iter().map(Vec::as_slice)
+    }
+
+    /// Serializes the formula in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                let _ = write!(out, "{} ", lit.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Parses a formula from DIMACS CNF text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem encountered.
+    pub fn from_dimacs(text: &str) -> Result<Self, String> {
+        let mut cnf = CnfFormula::new();
+        let mut declared_vars: Option<usize> = None;
+        let mut current: Vec<Lit> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p cnf") {
+                let mut parts = rest.split_whitespace();
+                let vars: usize = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing variable count", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                declared_vars = Some(vars);
+                cnf.reserve_vars(vars);
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let v: i64 = tok
+                    .parse()
+                    .map_err(|e| format!("line {}: bad literal `{tok}`: {e}", lineno + 1))?;
+                if v == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    let lit = Lit::from_dimacs(v);
+                    if lit.var().index() >= cnf.num_vars {
+                        cnf.reserve_vars(lit.var().index() + 1);
+                    }
+                    current.push(lit);
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.clauses.push(current);
+        }
+        if let Some(d) = declared_vars {
+            cnf.num_vars = cnf.num_vars.max(d);
+        }
+        Ok(cnf)
+    }
+}
+
+/// A satisfying assignment returned by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    pub(crate) fn new(values: Vec<bool>) -> Self {
+        Self { values }
+    }
+
+    /// Value assigned to a variable (`false` for variables the solver never
+    /// saw, which is a safe completion for Tseitin-encoded formulas).
+    pub fn value(&self, var: Var) -> bool {
+        self.values.get(var.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether a literal is satisfied by the model.
+    pub fn lit_is_true(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Outcome of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula is satisfiable; a model is provided.
+    Sat(Model),
+    /// The formula is unsatisfiable (under the given assumptions).
+    Unsat,
+    /// The solver gave up because a resource limit was reached.
+    Unknown,
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Whether the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// The model, if the result is `Sat`.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let mut cnf = CnfFormula::new();
+        let a = cnf.new_var().positive();
+        let b = cnf.new_var().positive();
+        cnf.add_clause([a, !b]);
+        cnf.add_clause([!a, b]);
+        cnf.add_clause([a, b]);
+        let text = cnf.to_dimacs();
+        assert!(text.starts_with("p cnf 2 3"));
+        let parsed = CnfFormula::from_dimacs(&text).expect("well-formed dimacs");
+        assert_eq!(parsed, cnf);
+    }
+
+    #[test]
+    fn dimacs_parsing_tolerates_comments_and_blank_lines() {
+        let text = "c comment\n\np cnf 3 2\n1 -2 0\nc another\n2 3 0\n";
+        let cnf = CnfFormula::from_dimacs(text).expect("parse");
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(CnfFormula::from_dimacs("p cnf x 1").is_err());
+        assert!(CnfFormula::from_dimacs("1 two 0").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn clause_with_unallocated_variable_panics() {
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause([Var::from_index(3).positive()]);
+    }
+
+    #[test]
+    fn model_lookup() {
+        let m = Model::new(vec![true, false]);
+        assert!(m.value(Var::from_index(0)));
+        assert!(!m.value(Var::from_index(1)));
+        assert!(!m.value(Var::from_index(9)));
+        assert!(m.lit_is_true(Var::from_index(0).positive()));
+        assert!(m.lit_is_true(Var::from_index(1).negative()));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn sat_result_accessors() {
+        let sat = SatResult::Sat(Model::new(vec![true]));
+        assert!(sat.is_sat());
+        assert!(!sat.is_unsat());
+        assert!(sat.model().is_some());
+        assert!(SatResult::Unsat.is_unsat());
+        assert!(SatResult::Unknown.model().is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! # `sat` — a conflict-driven clause-learning SAT solver
+//!
+//! This crate provides the satisfiability engine underneath the bounded
+//! model checking and interval property checking (IPC) performed by the
+//! `bmc` crate, which in turn carries the UPEC security proofs. The paper
+//! uses a commercial property checker (OneSpin 360 DV-Verify); this solver is
+//! the open, from-scratch substitute for its SAT back end.
+//!
+//! The implementation follows the MiniSat architecture:
+//!
+//! * two watched literals per clause,
+//! * first-UIP conflict analysis with clause learning,
+//! * VSIDS variable activities and phase saving,
+//! * Luby-sequence restarts,
+//! * periodic deletion of inactive learned clauses,
+//! * solving under assumptions and an optional conflict budget (used by the
+//!   benchmark harness to reproduce the paper's notion of a *feasible* proof
+//!   window).
+//!
+//! # Example
+//!
+//! ```
+//! use sat::{Solver, SatResult};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var().positive();
+//! let y = solver.new_var().positive();
+//! solver.add_clause([x, y]);
+//! solver.add_clause([!x, y]);
+//! assert!(matches!(solver.solve(), SatResult::Sat(m) if m.lit_is_true(y)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cnf;
+mod lit;
+mod solver;
+
+pub use cnf::{CnfFormula, Model, SatResult};
+pub use lit::{LBool, Lit, Var};
+pub use solver::{Solver, SolverStats};

@@ -1,0 +1,943 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The solver follows the classic MiniSat architecture: two watched literals
+//! per clause, first-UIP conflict analysis, VSIDS variable activities with a
+//! lazy binary-heap decision order, phase saving, Luby restarts and periodic
+//! deletion of inactive learned clauses.
+
+use crate::{CnfFormula, LBool, Lit, Model, SatResult, Var};
+use std::collections::BinaryHeap;
+
+/// Statistics collected during solving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learned clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VarData {
+    reason: Option<u32>,
+    level: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    activity: f64,
+    var: Var,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Activities are never NaN; tie-break on the variable index for a
+        // deterministic order.
+        self.activity
+            .partial_cmp(&other.activity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.var.cmp(&other.var))
+    }
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{Solver, SatResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// let b = solver.new_var().positive();
+/// solver.add_clause([a, b]);
+/// solver.add_clause([!a, b]);
+/// solver.add_clause([a, !b]);
+/// match solver.solve() {
+///     SatResult::Sat(model) => {
+///         assert!(model.lit_is_true(a));
+///         assert!(model.lit_is_true(b));
+///     }
+///     other => panic!("expected sat, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    var_data: Vec<VarData>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    order: BinaryHeap<HeapEntry>,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+    conflict_limit: Option<u64>,
+    num_learnts: usize,
+    max_learnts: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            var_data: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            order: BinaryHeap::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            conflict_limit: None,
+            num_learnts: 0,
+            max_learnts: 8192,
+        }
+    }
+
+    /// Limits the number of conflicts before the solver answers
+    /// [`SatResult::Unknown`]. `None` removes the limit.
+    ///
+    /// The UPEC experiments use this to reproduce the paper's "feasible k"
+    /// notion: the window length at which the proof still completes within
+    /// the allotted effort.
+    pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
+        self.conflict_limit = limit;
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem clauses (excluding learned clauses).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Solving statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Allocates a fresh Boolean variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.var_data.push(VarData {
+            reason: None,
+            level: 0,
+        });
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push(HeapEntry {
+            activity: 0.0,
+            var: v,
+        });
+        v
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    fn value_var(&self, var: Var) -> LBool {
+        self.assigns[var.index()]
+    }
+
+    fn value_lit(&self, lit: Lit) -> LBool {
+        let v = self.assigns[lit.var().index()];
+        if lit.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause to the solver.
+    ///
+    /// Duplicate literals are removed and tautological clauses silently
+    /// dropped. Adding the empty clause (or a clause falsified at level 0)
+    /// makes the solver permanently unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable that has not been allocated.
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses may only be added at decision level 0"
+        );
+        if !self.ok {
+            return;
+        }
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} refers to an unallocated variable"
+            );
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        // Tautology / falsified-literal simplification at level 0.
+        let mut simplified = Vec::with_capacity(clause.len());
+        for &l in &clause {
+            if clause.contains(&!l) {
+                return; // tautology
+            }
+            match self.value_lit(l) {
+                LBool::True => return, // already satisfied
+                LBool::False => {}     // drop falsified literal
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                self.enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+            }
+        }
+    }
+
+    /// Adds every clause of a [`CnfFormula`], allocating variables as needed.
+    pub fn add_formula(&mut self, formula: &CnfFormula) {
+        self.reserve_vars(formula.num_vars());
+        for clause in formula.clauses() {
+            self.add_clause(clause.iter().copied());
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        let w0 = Watcher {
+            clause: idx,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: idx,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).code()].push(w0);
+        self.watches[(!lits[1]).code()].push(w1);
+        if learnt {
+            self.num_learnts += 1;
+            self.stats.learnt_clauses = self.num_learnts as u64;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        idx
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.value_lit(lit), LBool::Undef);
+        self.assigns[lit.var().index()] = LBool::from_bool(lit.is_positive());
+        self.var_data[lit.var().index()] = VarData {
+            reason,
+            level: self.decision_level(),
+        };
+        self.trail.push(lit);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            'watchers: while i < watchers.len() {
+                let w = watchers[i];
+                // Fast path: the blocker literal is already true.
+                if self.value_lit(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                if self.clauses[ci].deleted {
+                    watchers.swap_remove(i);
+                    continue;
+                }
+                // Make sure the false literal (!p) is at position 1.
+                {
+                    let lits = &mut self.clauses[ci].lits;
+                    if lits[0] == !p {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], !p);
+                }
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    watchers[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        watchers.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // No new watch found: the clause is unit or conflicting.
+                watchers[i].blocker = first;
+                if self.value_lit(first) == LBool::False {
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                    // Copy back the remaining watchers untouched.
+                    break;
+                } else {
+                    self.enqueue(first, Some(w.clause));
+                    i += 1;
+                }
+            }
+            self.watches[p.code()].extend(watchers.drain(..));
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.push(HeapEntry {
+            activity: self.activity[var.index()],
+            var,
+        });
+    }
+
+    fn bump_clause(&mut self, clause: u32) {
+        let c = &mut self.clauses[clause as usize];
+        c.activity += self.clause_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for the asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut index = self.trail.len();
+        let current_level = self.decision_level();
+
+        loop {
+            if self.clauses[confl as usize].learnt {
+                self.bump_clause(confl);
+            }
+            let lits = self.clauses[confl as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.var_data[v.index()].level > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.var_data[v.index()].level >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.var_data[lit.var().index()]
+                .reason
+                .expect("non-decision literal must have a reason");
+        }
+        learnt[0] = !p.expect("conflict analysis visits at least one literal");
+
+        // Clear the `seen` markers of the literals kept in the learnt clause.
+        for &l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Compute the backtrack level: the highest level among learnt[1..].
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.var_data[learnt[i].var().index()].level
+                    > self.var_data[learnt[max_i].var().index()].level
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.var_data[learnt[1].var().index()].level
+        };
+        (learnt, backtrack_level)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        for i in (target..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.phase[v.index()] = lit.is_positive();
+            self.order.push(HeapEntry {
+                activity: self.activity[v.index()],
+                var: v,
+            });
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(entry) = self.order.pop() {
+            if self.value_var(entry.var) == LBool::Undef {
+                return Some(entry.var);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt_indices: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|(i, _)| i)
+            .collect();
+        learnt_indices.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: std::collections::HashSet<u32> =
+            self.var_data.iter().filter_map(|d| d.reason).collect();
+        let is_locked = |idx: usize| -> bool { locked.contains(&(idx as u32)) };
+        let to_remove = learnt_indices.len() / 2;
+        let mut removed = 0;
+        for &idx in &learnt_indices {
+            if removed >= to_remove {
+                break;
+            }
+            if is_locked(idx) {
+                continue;
+            }
+            self.clauses[idx].deleted = true;
+            self.clauses[idx].lits.clear();
+            self.clauses[idx].lits.shrink_to_fit();
+            removed += 1;
+            self.num_learnts -= 1;
+            self.stats.deleted_clauses += 1;
+        }
+        self.stats.learnt_clauses = self.num_learnts as u64;
+    }
+
+    /// Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).
+    fn luby(i: u64) -> u64 {
+        let mut seq = 0u32;
+        let mut size = 1u64;
+        while size < i + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut i = i;
+        while size - 1 != i {
+            size = (size - 1) / 2;
+            seq -= 1;
+            i %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the formula under the given assumption literals.
+    ///
+    /// Assumptions are treated as decisions made before any free decision; if
+    /// they are inconsistent with the formula the result is
+    /// [`SatResult::Unsat`] without the assumptions becoming learned facts.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+
+        let mut restart_count = 0u64;
+        let restart_base = 128u64;
+        let conflict_start = self.stats.conflicts;
+
+        loop {
+            let budget = restart_base * Self::luby(restart_count);
+            match self.search(budget, assumptions, conflict_start) {
+                SearchOutcome::Sat => {
+                    let model = Model::new(
+                        self.assigns
+                            .iter()
+                            .enumerate()
+                            .map(|(i, v)| match v {
+                                LBool::True => true,
+                                LBool::False => false,
+                                LBool::Undef => self.phase[i],
+                            })
+                            .collect(),
+                    );
+                    self.backtrack_to(0);
+                    return SatResult::Sat(model);
+                }
+                SearchOutcome::Unsat => {
+                    self.backtrack_to(0);
+                    return SatResult::Unsat;
+                }
+                SearchOutcome::Restart => {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    self.backtrack_to(0);
+                }
+                SearchOutcome::LimitReached => {
+                    self.backtrack_to(0);
+                    return SatResult::Unknown;
+                }
+            }
+        }
+    }
+
+    fn search(
+        &mut self,
+        conflict_budget: u64,
+        assumptions: &[Lit],
+        conflict_start: u64,
+    ) -> SearchOutcome {
+        let mut conflicts_this_round = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_round += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                // Conflicts below the assumption levels mean the assumptions
+                // themselves are contradictory with the formula.
+                let (learnt, backtrack_level) = self.analyze(confl);
+                self.backtrack_to(backtrack_level);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], None);
+                } else {
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    self.enqueue(learnt[0], Some(cref));
+                }
+                self.var_inc /= 0.95;
+                self.clause_inc /= 0.999;
+                if let Some(limit) = self.conflict_limit {
+                    if self.stats.conflicts - conflict_start >= limit {
+                        return SearchOutcome::LimitReached;
+                    }
+                }
+                if self.num_learnts > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts += self.max_learnts / 2;
+                }
+                if conflicts_this_round >= conflict_budget {
+                    return SearchOutcome::Restart;
+                }
+            } else {
+                // Place assumptions as pseudo-decisions first.
+                let mut next_decision = None;
+                for &a in assumptions {
+                    match self.value_lit(a) {
+                        LBool::True => continue,
+                        LBool::False => return SearchOutcome::Unsat,
+                        LBool::Undef => {
+                            next_decision = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next_decision {
+                    Some(a) => Some(a),
+                    None => self.pick_branch_var().map(|v| {
+                        let phase = self.phase[v.index()];
+                        Lit::new(v, phase)
+                    }),
+                };
+                match decision {
+                    None => return SearchOutcome::Sat,
+                    Some(lit) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    LimitReached,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| solver.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause([v[0]]);
+        assert!(s.solve().is_sat());
+
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause([v[0]]);
+        s.add_clause([!v[0]]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = lits(&mut s, 1);
+        s.add_clause(std::iter::empty());
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        let clauses = vec![
+            vec![v[0], v[1]],
+            vec![!v[0], v[2]],
+            vec![!v[1], v[3]],
+            vec![!v[2], !v[3]],
+            vec![v[1], v[2], v[3]],
+        ];
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        let result = s.solve();
+        let model = result.model().expect("satisfiable");
+        for c in &clauses {
+            assert!(c.iter().any(|&l| model.lit_is_true(l)), "clause {c:?} unsatisfied");
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: classic small UNSAT instance that requires real
+        // conflict analysis.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for pigeon in &p {
+            s.add_clause(pigeon.iter().copied());
+        }
+        for hole in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause([!p[a][hole], !p[b][hole]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let n = 5;
+        let m = 4;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for pigeon in &p {
+            s.add_clause(pigeon.iter().copied());
+        }
+        for hole in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause([!p[a][hole], !p[b][hole]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn xor_chain_is_satisfiable_with_correct_parity() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, x2 ^ x0 = 0 is consistent.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let xor = |s: &mut Solver, a: Lit, b: Lit, value: bool| {
+            if value {
+                s.add_clause([a, b]);
+                s.add_clause([!a, !b]);
+            } else {
+                s.add_clause([!a, b]);
+                s.add_clause([a, !b]);
+            }
+        };
+        xor(&mut s, v[0], v[1], true);
+        xor(&mut s, v[1], v[2], true);
+        xor(&mut s, v[2], v[0], false);
+        let model = s.solve();
+        let m = model.model().expect("sat");
+        assert_ne!(m.lit_is_true(v[0]), m.lit_is_true(v[1]));
+        assert_ne!(m.lit_is_true(v[1]), m.lit_is_true(v[2]));
+        assert_eq!(m.lit_is_true(v[2]), m.lit_is_true(v[0]));
+    }
+
+    #[test]
+    fn xor_chain_with_odd_total_parity_is_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let xor = |s: &mut Solver, a: Lit, b: Lit, value: bool| {
+            if value {
+                s.add_clause([a, b]);
+                s.add_clause([!a, !b]);
+            } else {
+                s.add_clause([!a, b]);
+                s.add_clause([a, !b]);
+            }
+        };
+        xor(&mut s, v[0], v[1], true);
+        xor(&mut s, v[1], v[2], true);
+        xor(&mut s, v[2], v[0], true);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_restrict_the_search() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        // Assuming both false contradicts the clause.
+        assert!(s.solve_with_assumptions(&[!v[0], !v[1]]).is_unsat());
+        // The formula itself is still satisfiable afterwards.
+        assert!(s.solve().is_sat());
+        // Assumption-compatible solve returns a model honoring them.
+        let r = s.solve_with_assumptions(&[!v[0]]);
+        let m = r.model().expect("sat");
+        assert!(!m.lit_is_true(v[0]));
+        assert!(m.lit_is_true(v[1]));
+    }
+
+    #[test]
+    fn conflict_limit_yields_unknown_on_hard_instance() {
+        // Pigeonhole 7 into 6 is hard enough that a tiny conflict budget is
+        // exhausted before the proof completes.
+        let n = 7;
+        let m = 6;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for pigeon in &p {
+            s.add_clause(pigeon.iter().copied());
+        }
+        for hole in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause([!p[a][hole], !p[b][hole]]);
+                }
+            }
+        }
+        s.set_conflict_limit(Some(10));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        s.set_conflict_limit(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_tolerated() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[0], v[1]]);
+        s.add_clause([v[0], !v[0]]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn add_formula_imports_cnf() {
+        let mut cnf = CnfFormula::new();
+        let a = cnf.new_var().positive();
+        let b = cnf.new_var().positive();
+        cnf.add_clause([a, b]);
+        cnf.add_clause([!a]);
+        let mut s = Solver::new();
+        s.add_formula(&cnf);
+        let r = s.solve();
+        let m = r.model().expect("sat");
+        assert!(!m.lit_is_true(a));
+        assert!(m.lit_is_true(b));
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        let _ = s.solve();
+        assert!(s.stats().decisions > 0 || s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn solver_is_reusable_after_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        assert!(s.solve().is_sat());
+        s.add_clause([!v[0]]);
+        assert!(s.solve().is_sat());
+        s.add_clause([!v[1]]);
+        assert!(s.solve().is_unsat());
+        // Once unsat, always unsat.
+        assert!(s.solve().is_unsat());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based validation of the CDCL solver against a brute-force
+//! reference on random small formulas.
+
+use proptest::prelude::*;
+use sat::{CnfFormula, Lit, SatResult, Solver, Var};
+
+/// Brute-force satisfiability check for formulas with at most 16 variables.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    assert!(num_vars <= 16);
+    'outer: for assignment in 0u32..(1 << num_vars) {
+        for clause in clauses {
+            let satisfied = clause.iter().any(|l| {
+                let value = (assignment >> l.var().index()) & 1 == 1;
+                value == l.is_positive()
+            });
+            if !satisfied {
+                if clause.is_empty() {
+                    return false;
+                }
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<Lit>> {
+    prop::collection::vec((0..num_vars, prop::bool::ANY), 1..=3).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, pos)| Lit::new(Var::from_index(v), pos))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver agrees with brute force on random 3-SAT-ish formulas, and
+    /// the models it returns satisfy every clause.
+    #[test]
+    fn solver_agrees_with_brute_force(
+        num_vars in 3usize..9,
+        clauses in prop::collection::vec(clause_strategy(8), 1..24)
+    ) {
+        let clauses: Vec<Vec<Lit>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| l.var().index() < num_vars).collect::<Vec<_>>())
+            .filter(|c: &Vec<Lit>| !c.is_empty())
+            .collect();
+        prop_assume!(!clauses.is_empty());
+
+        let mut solver = Solver::new();
+        solver.reserve_vars(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        let expected = brute_force_sat(num_vars, &clauses);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                prop_assert!(expected, "solver said sat, brute force says unsat");
+                for clause in &clauses {
+                    prop_assert!(
+                        clause.iter().any(|&l| model.lit_is_true(l)),
+                        "model does not satisfy {clause:?}"
+                    );
+                }
+            }
+            SatResult::Unsat => prop_assert!(!expected, "solver said unsat, brute force says sat"),
+            SatResult::Unknown => prop_assert!(false, "no limit was set, Unknown is impossible"),
+        }
+    }
+
+    /// DIMACS export/import is an exact round trip.
+    #[test]
+    fn dimacs_roundtrip(num_vars in 1usize..8, clauses in prop::collection::vec(clause_strategy(7), 0..12)) {
+        let mut cnf = CnfFormula::new();
+        cnf.reserve_vars(num_vars.max(8));
+        for clause in &clauses {
+            cnf.add_clause(clause.iter().copied());
+        }
+        let parsed = CnfFormula::from_dimacs(&cnf.to_dimacs()).expect("well-formed output");
+        prop_assert_eq!(parsed, cnf);
+    }
+}

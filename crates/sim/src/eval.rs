@@ -1,0 +1,117 @@
+//! Combinational evaluation of a netlist for one clock cycle.
+
+use rtl::{BinaryOp, BitVec, Netlist, Node, SignalId, UnaryOp};
+
+/// Evaluates a single node given the values of all earlier signals and the
+/// current register/input values supplied through `leaf`.
+///
+/// `values` must contain valid values for every signal with a smaller index
+/// (the creation order of a [`Netlist`] is a topological order, so this is
+/// always achievable by evaluating in index order).
+pub(crate) fn eval_node(
+    netlist: &Netlist,
+    id: SignalId,
+    values: &[BitVec],
+    leaf: &dyn Fn(SignalId) -> BitVec,
+) -> BitVec {
+    let node = netlist.node(id);
+    match node {
+        Node::Input { .. } | Node::Register { .. } => leaf(id),
+        Node::Const(v) => *v,
+        Node::Unary { op, a, .. } => {
+            let a = values[a.index()];
+            match op {
+                UnaryOp::Not => a.not(),
+                UnaryOp::Neg => a.neg(),
+                UnaryOp::ReduceOr => a.reduce_or(),
+                UnaryOp::ReduceAnd => a.reduce_and(),
+                UnaryOp::ReduceXor => a.reduce_xor(),
+            }
+        }
+        Node::Binary { op, a, b, .. } => {
+            let a = values[a.index()];
+            let b = values[b.index()];
+            match op {
+                BinaryOp::And => a.and(&b),
+                BinaryOp::Or => a.or(&b),
+                BinaryOp::Xor => a.xor(&b),
+                BinaryOp::Add => a.add(&b),
+                BinaryOp::Sub => a.sub(&b),
+                BinaryOp::Eq => a.eq_bit(&b),
+                BinaryOp::Ne => a.eq_bit(&b).not(),
+                BinaryOp::Ult => a.ult(&b),
+                BinaryOp::Ule => a.ule(&b),
+                BinaryOp::Slt => a.slt(&b),
+                BinaryOp::Shl => {
+                    let amount = b.as_u64().min(u64::from(a.width())) as u32;
+                    a.shl(amount)
+                }
+                BinaryOp::Shr => {
+                    let amount = b.as_u64().min(u64::from(a.width())) as u32;
+                    a.shr(amount)
+                }
+            }
+        }
+        Node::Mux {
+            cond, then_, else_, ..
+        } => {
+            if values[cond.index()].is_true() {
+                values[then_.index()]
+            } else {
+                values[else_.index()]
+            }
+        }
+        Node::Slice { a, hi, lo } => values[a.index()].slice(*hi, *lo),
+        Node::Concat { hi, lo, .. } => values[hi.index()].concat(&values[lo.index()]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_arithmetic_dag() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a", 8);
+        let b = n.input("b", 8);
+        let sum = n.add(a, b);
+        let is_big = n.ult(b, sum);
+        n.output("sum", sum);
+        n.output("is_big", is_big);
+
+        let mut values = vec![BitVec::zero(1); n.len()];
+        let leaf = |id: SignalId| -> BitVec {
+            if id == a {
+                BitVec::new(10, 8)
+            } else {
+                BitVec::new(20, 8)
+            }
+        };
+        for id in n.signals() {
+            values[id.index()] = eval_node(&n, id, &values, &leaf);
+        }
+        assert_eq!(values[sum.index()].as_u64(), 30);
+        assert!(values[is_big.index()].is_true());
+    }
+
+    #[test]
+    fn variable_shift_amounts_are_clamped() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a", 8);
+        let amount = n.input("amount", 4);
+        let shifted = n.shl(a, amount);
+        let mut values = vec![BitVec::zero(1); n.len()];
+        let leaf = |id: SignalId| -> BitVec {
+            if id == a {
+                BitVec::new(0xff, 8)
+            } else {
+                BitVec::new(12, 4)
+            }
+        };
+        for id in n.signals() {
+            values[id.index()] = eval_node(&n, id, &values, &leaf);
+        }
+        assert_eq!(values[shifted.index()].as_u64(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # `sim` — cycle-accurate simulation of `rtl` netlists
+//!
+//! The simulator plays two roles in the UPEC reproduction:
+//!
+//! 1. **Functional validation** of the MiniRV SoC designs (the stand-ins for
+//!    RocketChip): the ISA-level golden model in the `soc` crate is checked
+//!    against the RTL by co-simulation.
+//! 2. **Attack demonstration**: the Orc attack (paper Fig. 2) and the
+//!    Meltdown-style cache footprint (paper Fig. 1) are *timing* phenomena.
+//!    The examples and benches run the attacker programs on the simulator
+//!    and measure cycle counts, exactly as an attacker with access to a
+//!    cycle counter would.
+//!
+//! The simulator is a straightforward two-value, word-level evaluator: the
+//! netlist's creation order is topological, so one in-order sweep per clock
+//! edge suffices.
+//!
+//! # Example
+//!
+//! ```
+//! use rtl::{Netlist, BitVec};
+//! use sim::Simulator;
+//!
+//! let mut n = Netlist::new("toggler");
+//! let t = n.register_init("t", 1, BitVec::zero(1));
+//! let inverted = n.not(t.value());
+//! n.set_next(t, inverted);
+//! n.output("t", t.value());
+//!
+//! let mut sim = Simulator::new(n);
+//! sim.step();
+//! assert_eq!(sim.peek_output("t")?.as_u64(), 1);
+//! sim.step();
+//! assert_eq!(sim.peek_output("t")?.as_u64(), 0);
+//! # Ok::<(), sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod eval;
+mod simulator;
+mod trace;
+
+pub use simulator::{SimError, Simulator};
+pub use trace::Trace;

@@ -1,0 +1,357 @@
+//! Cycle-accurate simulation of a netlist.
+
+use crate::eval::eval_node;
+use rtl::{BitVec, Netlist, RegisterId, SignalId};
+use std::collections::HashMap;
+
+/// Cycle-accurate two-value simulator for an [`rtl::Netlist`].
+///
+/// The simulator owns a copy of the netlist and the current register state.
+/// Primary inputs are *poked* before each [`Simulator::step`]; any input that
+/// has not been poked holds its previous value (initially zero). Registers
+/// with an initial value start there; registers declared without one start at
+/// zero unless overridden with [`Simulator::set_register`].
+///
+/// # Examples
+///
+/// ```
+/// use rtl::{Netlist, BitVec};
+/// use sim::Simulator;
+///
+/// let mut n = Netlist::new("counter");
+/// let enable = n.input("enable", 1);
+/// let count = n.register_init("count", 8, BitVec::zero(8));
+/// let one = n.lit(1, 8);
+/// let inc = n.add(count.value(), one);
+/// let next = n.mux(enable, inc, count.value());
+/// n.set_next(count, next);
+/// n.output("count", count.value());
+///
+/// let mut sim = Simulator::new(n);
+/// sim.poke_by_name("enable", 1)?;
+/// sim.step();
+/// sim.step();
+/// assert_eq!(sim.peek_output("count")?.as_u64(), 2);
+/// # Ok::<(), sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    netlist: Netlist,
+    /// Current value of each register, indexed by register index.
+    register_values: Vec<BitVec>,
+    /// Current value of each primary input, indexed by signal index.
+    input_values: HashMap<SignalId, BitVec>,
+    /// Value of every signal after the latest combinational evaluation.
+    signal_values: Vec<BitVec>,
+    cycle: u64,
+    dirty: bool,
+}
+
+/// Errors reported by the simulator's name-based access methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No input port with the requested name exists.
+    UnknownInput(String),
+    /// No output port with the requested name exists.
+    UnknownOutput(String),
+    /// No register with the requested name exists.
+    UnknownRegister(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownInput(n) => write!(f, "unknown input port `{n}`"),
+            SimError::UnknownOutput(n) => write!(f, "unknown output port `{n}`"),
+            SimError::UnknownRegister(n) => write!(f, "unknown register `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl Simulator {
+    /// Creates a simulator for a netlist, resetting registers to their
+    /// initial values (or zero when they have none).
+    pub fn new(netlist: Netlist) -> Self {
+        let register_values = netlist
+            .registers()
+            .iter()
+            .map(|r| r.init.unwrap_or_else(|| BitVec::zero(r.width)))
+            .collect();
+        let signal_values = vec![BitVec::zero(1); netlist.len()];
+        let mut sim = Self {
+            netlist,
+            register_values,
+            input_values: HashMap::new(),
+            signal_values,
+            cycle: 0,
+            dirty: true,
+        };
+        sim.settle();
+        sim
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Number of clock cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Resets every register to its declared initial value (zero when none)
+    /// and clears the cycle counter. Poked input values are retained.
+    pub fn reset(&mut self) {
+        for (value, info) in self.register_values.iter_mut().zip(self.netlist.registers()) {
+            *value = info.init.unwrap_or_else(|| BitVec::zero(info.width));
+        }
+        self.cycle = 0;
+        self.dirty = true;
+        self.settle();
+    }
+
+    /// Sets a primary input by signal id, truncating the value to the port
+    /// width.
+    pub fn poke(&mut self, input: SignalId, value: u64) {
+        let width = self.netlist.width(input);
+        self.input_values.insert(input, BitVec::new(value, width));
+        self.dirty = true;
+    }
+
+    /// Sets a primary input by port name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownInput`] if no input port has that name.
+    pub fn poke_by_name(&mut self, name: &str, value: u64) -> Result<(), SimError> {
+        let input = self
+            .netlist
+            .find_input(name)
+            .ok_or_else(|| SimError::UnknownInput(name.to_string()))?;
+        self.poke(input, value);
+        Ok(())
+    }
+
+    /// Overrides the current value of a register (e.g. to preload a memory
+    /// image or to start from a specific microarchitectural state).
+    pub fn set_register(&mut self, register: RegisterId, value: u64) {
+        let width = self.netlist.register_info(register).width;
+        self.register_values[register.index()] = BitVec::new(value, width);
+        self.dirty = true;
+    }
+
+    /// Overrides a register selected by its hierarchical name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRegister`] if no register has that name.
+    pub fn set_register_by_name(&mut self, name: &str, value: u64) -> Result<(), SimError> {
+        let reg = self
+            .netlist
+            .find_register(name)
+            .ok_or_else(|| SimError::UnknownRegister(name.to_string()))?;
+        self.set_register(reg, value);
+        Ok(())
+    }
+
+    /// Current value of a register.
+    pub fn register_value(&self, register: RegisterId) -> BitVec {
+        self.register_values[register.index()]
+    }
+
+    /// Current value of a register selected by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRegister`] if no register has that name.
+    pub fn register_by_name(&self, name: &str) -> Result<BitVec, SimError> {
+        let reg = self
+            .netlist
+            .find_register(name)
+            .ok_or_else(|| SimError::UnknownRegister(name.to_string()))?;
+        Ok(self.register_value(reg))
+    }
+
+    fn leaf_value(&self, id: SignalId) -> BitVec {
+        match self.netlist.node(id) {
+            rtl::Node::Register { register, .. } => self.register_values[register.index()],
+            rtl::Node::Input { width, .. } => self
+                .input_values
+                .get(&id)
+                .copied()
+                .unwrap_or_else(|| BitVec::zero(*width)),
+            _ => unreachable!("leaf_value called on a non-leaf node"),
+        }
+    }
+
+    /// Re-evaluates the combinational logic for the current inputs and
+    /// register state without advancing the clock.
+    pub fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        // Evaluation in creation order is valid because the netlist's node
+        // order is topological by construction.
+        for id in self.netlist.signals() {
+            let value = eval_node(&self.netlist, id, &self.signal_values, &|leaf| {
+                self.leaf_value(leaf)
+            });
+            self.signal_values[id.index()] = value;
+        }
+        self.dirty = false;
+    }
+
+    /// Value of an arbitrary signal after the latest evaluation.
+    pub fn peek(&mut self, signal: SignalId) -> BitVec {
+        self.settle();
+        self.signal_values[signal.index()]
+    }
+
+    /// Value of a named output port after the latest evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownOutput`] if no output port has that name.
+    pub fn peek_output(&mut self, name: &str) -> Result<BitVec, SimError> {
+        let signal = self
+            .netlist
+            .find_output(name)
+            .ok_or_else(|| SimError::UnknownOutput(name.to_string()))?;
+        Ok(self.peek(signal))
+    }
+
+    /// Advances the simulation by one clock cycle: evaluates the
+    /// combinational logic and clocks every register's next-state value.
+    pub fn step(&mut self) {
+        self.settle();
+        let mut next_values = Vec::with_capacity(self.register_values.len());
+        for info in self.netlist.registers() {
+            let next = info
+                .next
+                .expect("validated netlists give every register a next-state");
+            next_values.push(self.signal_values[next.index()]);
+        }
+        self.register_values = next_values;
+        self.cycle += 1;
+        self.dirty = true;
+        self.settle();
+    }
+
+    /// Runs `cycles` clock cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Steps until `predicate` returns true or `max_cycles` elapse; returns
+    /// the number of cycles stepped, or `None` if the bound was hit first.
+    pub fn step_until<F>(&mut self, max_cycles: u64, mut predicate: F) -> Option<u64>
+    where
+        F: FnMut(&mut Simulator) -> bool,
+    {
+        for i in 0..max_cycles {
+            if predicate(self) {
+                return Some(i);
+            }
+            self.step();
+        }
+        if predicate(self) {
+            return Some(max_cycles);
+        }
+        None
+    }
+
+    /// Snapshot of all register values, indexed like
+    /// [`rtl::Netlist::registers`].
+    pub fn register_snapshot(&self) -> Vec<BitVec> {
+        self.register_values.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_netlist() -> Netlist {
+        let mut n = Netlist::new("counter");
+        let enable = n.input("enable", 1);
+        let count = n.register_init("count", 8, BitVec::zero(8));
+        let one = n.lit(1, 8);
+        let inc = n.add(count.value(), one);
+        let next = n.mux(enable, inc, count.value());
+        n.set_next(count, next);
+        n.output("count", count.value());
+        n
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let mut sim = Simulator::new(counter_netlist());
+        sim.poke_by_name("enable", 1).unwrap();
+        sim.run(5);
+        assert_eq!(sim.peek_output("count").unwrap().as_u64(), 5);
+        sim.poke_by_name("enable", 0).unwrap();
+        sim.run(3);
+        assert_eq!(sim.peek_output("count").unwrap().as_u64(), 5);
+        assert_eq!(sim.cycle(), 8);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut sim = Simulator::new(counter_netlist());
+        sim.poke_by_name("enable", 1).unwrap();
+        sim.run(4);
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        assert_eq!(sim.peek_output("count").unwrap().as_u64(), 0);
+    }
+
+    #[test]
+    fn set_register_overrides_state() {
+        let mut sim = Simulator::new(counter_netlist());
+        sim.set_register_by_name("count", 250).unwrap();
+        sim.poke_by_name("enable", 1).unwrap();
+        sim.run(10);
+        // 250 + 10 wraps modulo 256.
+        assert_eq!(sim.peek_output("count").unwrap().as_u64(), 4);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut sim = Simulator::new(counter_netlist());
+        assert!(matches!(
+            sim.poke_by_name("nope", 1),
+            Err(SimError::UnknownInput(_))
+        ));
+        assert!(matches!(
+            sim.peek_output("nope"),
+            Err(SimError::UnknownOutput(_))
+        ));
+        assert!(matches!(
+            sim.register_by_name("nope"),
+            Err(SimError::UnknownRegister(_))
+        ));
+    }
+
+    #[test]
+    fn step_until_reports_latency() {
+        let mut sim = Simulator::new(counter_netlist());
+        sim.poke_by_name("enable", 1).unwrap();
+        let cycles = sim.step_until(100, |s| s.peek_output("count").unwrap().as_u64() == 7);
+        assert_eq!(cycles, Some(7));
+        let timeout = sim.step_until(3, |s| s.peek_output("count").unwrap().as_u64() == 200);
+        assert_eq!(timeout, None);
+    }
+
+    #[test]
+    fn poke_truncates_to_width() {
+        let mut sim = Simulator::new(counter_netlist());
+        sim.poke_by_name("enable", 0xfe).unwrap(); // LSB is 0
+        sim.run(2);
+        assert_eq!(sim.peek_output("count").unwrap().as_u64(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Waveform capture: record selected signals over time.
+
+use crate::Simulator;
+use rtl::{BitVec, SignalId};
+
+/// Records the values of a chosen set of signals every cycle.
+///
+/// A trace is the simulator-side analogue of the counterexample traces
+/// produced by the formal engine: both are sequences of per-cycle valuations
+/// that can be compared or printed.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::{Netlist, BitVec};
+/// use sim::{Simulator, Trace};
+///
+/// let mut n = Netlist::new("c");
+/// let r = n.register_init("r", 4, BitVec::zero(4));
+/// let one = n.lit(1, 4);
+/// let next = n.add(r.value(), one);
+/// n.set_next(r, next);
+/// let watch = r.value();
+///
+/// let mut sim = Simulator::new(n);
+/// let mut trace = Trace::new(vec![("r".to_string(), watch)]);
+/// for _ in 0..4 {
+///     trace.sample(&mut sim);
+///     sim.step();
+/// }
+/// assert_eq!(trace.values_of("r").unwrap().iter().map(|v| v.as_u64()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    signals: Vec<(String, SignalId)>,
+    samples: Vec<Vec<BitVec>>,
+    cycles: Vec<u64>,
+}
+
+impl Trace {
+    /// Creates a trace that will record the given `(name, signal)` pairs.
+    pub fn new(signals: Vec<(String, SignalId)>) -> Self {
+        Self {
+            signals,
+            samples: Vec::new(),
+            cycles: Vec::new(),
+        }
+    }
+
+    /// Records the current value of every watched signal.
+    pub fn sample(&mut self, sim: &mut Simulator) {
+        let row = self.signals.iter().map(|&(_, s)| sim.peek(s)).collect();
+        self.samples.push(row);
+        self.cycles.push(sim.cycle());
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded values of a signal by its trace name.
+    pub fn values_of(&self, name: &str) -> Option<Vec<BitVec>> {
+        let col = self.signals.iter().position(|(n, _)| n == name)?;
+        Some(self.samples.iter().map(|row| row[col]).collect())
+    }
+
+    /// Names of all traced signals, in column order.
+    pub fn signal_names(&self) -> Vec<&str> {
+        self.signals.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Renders the trace as a compact ASCII table (one row per cycle).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "cycle");
+        for (name, _) in &self.signals {
+            let _ = write!(out, " {name:>12}");
+        }
+        let _ = writeln!(out);
+        for (row, cycle) in self.samples.iter().zip(&self.cycles) {
+            let _ = write!(out, "{cycle:>6}");
+            for v in row {
+                let _ = write!(out, " {:>12}", format!("{v:x}"));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Emits the trace in Value Change Dump (VCD) format.
+    ///
+    /// The output can be loaded into standard waveform viewers (GTKWave,
+    /// Surfer) for debugging the SoC designs.
+    pub fn to_vcd(&self, design_name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "$date reproduction run $end");
+        let _ = writeln!(out, "$version upec-repro sim $end");
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module {design_name} $end");
+        let idents: Vec<String> = (0..self.signals.len()).map(vcd_ident).collect();
+        for ((name, _), ident) in self.signals.iter().zip(&idents) {
+            // VCD has no width lookup here; derive it from the first sample
+            // if there is one, else assume 1.
+            let width = self
+                .samples
+                .first()
+                .map(|row| row[self.signals.iter().position(|(n, _)| n == name).unwrap()].width())
+                .unwrap_or(1);
+            let _ = writeln!(out, "$var wire {width} {ident} {} $end", name.replace(' ', "_"));
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        for (row, cycle) in self.samples.iter().zip(&self.cycles) {
+            let _ = writeln!(out, "#{cycle}");
+            for (v, ident) in row.iter().zip(&idents) {
+                if v.width() == 1 {
+                    let _ = writeln!(out, "{}{}", v.as_u64(), ident);
+                } else {
+                    let _ = writeln!(out, "b{:b} {}", v.as_u64(), ident);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn vcd_ident(index: usize) -> String {
+    // Printable identifier characters per the VCD spec: '!' (33) to '~' (126).
+    let mut n = index;
+    let mut s = String::new();
+    loop {
+        s.push(char::from(33 + (n % 94) as u8));
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl::Netlist;
+
+    fn traced_counter() -> (Simulator, Trace) {
+        let mut n = Netlist::new("c");
+        let r = n.register_init("r", 4, BitVec::zero(4));
+        let one = n.lit(1, 4);
+        let next = n.add(r.value(), one);
+        n.set_next(r, next);
+        let flag = n.eq_lit(r.value(), 2);
+        n.output("flag", flag);
+        let watch_r = r.value();
+        let sim = Simulator::new(n);
+        let trace = Trace::new(vec![("r".to_string(), watch_r), ("flag".to_string(), flag)]);
+        (sim, trace)
+    }
+
+    #[test]
+    fn trace_records_values_per_cycle() {
+        let (mut sim, mut trace) = traced_counter();
+        for _ in 0..5 {
+            trace.sample(&mut sim);
+            sim.step();
+        }
+        assert_eq!(trace.len(), 5);
+        assert!(!trace.is_empty());
+        let r = trace.values_of("r").unwrap();
+        assert_eq!(r.iter().map(BitVec::as_u64).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        let flag = trace.values_of("flag").unwrap();
+        assert_eq!(flag.iter().map(BitVec::as_u64).collect::<Vec<_>>(), vec![0, 0, 1, 0, 0]);
+        assert!(trace.values_of("missing").is_none());
+        assert_eq!(trace.signal_names(), vec!["r", "flag"]);
+    }
+
+    #[test]
+    fn table_and_vcd_render() {
+        let (mut sim, mut trace) = traced_counter();
+        for _ in 0..3 {
+            trace.sample(&mut sim);
+            sim.step();
+        }
+        let table = trace.to_table();
+        assert!(table.contains("cycle"));
+        assert!(table.lines().count() >= 4);
+        let vcd = trace.to_vcd("counter");
+        assert!(vcd.contains("$var wire 4"));
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("#2"));
+    }
+
+    #[test]
+    fn vcd_identifiers_are_unique_and_printable() {
+        let ids: Vec<String> = (0..200).map(vcd_ident).collect();
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+    }
+}

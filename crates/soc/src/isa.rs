@@ -1,0 +1,446 @@
+//! MiniRV instruction set: RV32I-subset encodings, an assembler and a
+//! disassembler.
+//!
+//! The SoC implements the subset of RV32I (plus a few privileged
+//! instructions) needed by the attack programs of the UPEC paper: loads,
+//! stores, ALU operations, branches, `jal`, CSR accesses and `mret`. The
+//! standard RISC-V encodings are used so that programs read exactly like the
+//! paper's Fig. 2.
+
+use std::fmt;
+
+/// Register index (`x0`..`x31`). `x0` is hard-wired to zero.
+pub type Reg = u32;
+
+/// CSR addresses understood by the core.
+pub mod csr {
+    /// Machine trap vector.
+    pub const MTVEC: u32 = 0x305;
+    /// Machine exception program counter.
+    pub const MEPC: u32 = 0x341;
+    /// Machine trap cause.
+    pub const MCAUSE: u32 = 0x342;
+    /// PMP configuration register 0 (packs the cfg bytes of entries 0 and 1).
+    pub const PMPCFG0: u32 = 0x3a0;
+    /// PMP address register 0 (top of region 0 in TOR mode).
+    pub const PMPADDR0: u32 = 0x3b0;
+    /// PMP address register 1 (top of region 1 in TOR mode).
+    pub const PMPADDR1: u32 = 0x3b1;
+    /// User-readable cycle counter.
+    pub const CYCLE: u32 = 0xc00;
+}
+
+/// Trap cause codes (subset of the RISC-V privileged specification).
+pub mod cause {
+    /// Load access fault.
+    pub const LOAD_ACCESS_FAULT: u32 = 5;
+    /// Store/AMO access fault.
+    pub const STORE_ACCESS_FAULT: u32 = 7;
+    /// Illegal instruction.
+    pub const ILLEGAL_INSTRUCTION: u32 = 2;
+}
+
+/// A decoded MiniRV instruction.
+///
+/// Field meanings follow the RISC-V convention: `rd` is the destination
+/// register, `rs1`/`rs2` the sources, `imm`/`offset` the sign-extended
+/// immediate, and `csr` a control-and-status-register address.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `lui rd, imm` — load upper immediate (`imm` is the final 32-bit value
+    /// with the low 12 bits zero).
+    Lui { rd: Reg, imm: u32 },
+    /// `jal rd, offset` — jump and link.
+    Jal { rd: Reg, offset: i32 },
+    /// `beq rs1, rs2, offset`.
+    Beq { rs1: Reg, rs2: Reg, offset: i32 },
+    /// `bne rs1, rs2, offset`.
+    Bne { rs1: Reg, rs2: Reg, offset: i32 },
+    /// `lw rd, offset(rs1)`.
+    Lw { rd: Reg, rs1: Reg, offset: i32 },
+    /// `sw rs2, offset(rs1)`.
+    Sw { rs1: Reg, rs2: Reg, offset: i32 },
+    /// `addi rd, rs1, imm`.
+    Addi { rd: Reg, rs1: Reg, imm: i32 },
+    /// `andi rd, rs1, imm`.
+    Andi { rd: Reg, rs1: Reg, imm: i32 },
+    /// `ori rd, rs1, imm`.
+    Ori { rd: Reg, rs1: Reg, imm: i32 },
+    /// `xori rd, rs1, imm`.
+    Xori { rd: Reg, rs1: Reg, imm: i32 },
+    /// `add rd, rs1, rs2`.
+    Add { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `sub rd, rs1, rs2`.
+    Sub { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `and rd, rs1, rs2`.
+    And { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `or rd, rs1, rs2`.
+    Or { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `xor rd, rs1, rs2`.
+    Xor { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `sltu rd, rs1, rs2`.
+    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `csrrw rd, csr, rs1` — atomic CSR read/write.
+    Csrrw { rd: Reg, csr: u32, rs1: Reg },
+    /// `csrrs rd, csr, rs1` — atomic CSR read/set (with `rs1 = x0` a plain
+    /// CSR read).
+    Csrrs { rd: Reg, csr: u32, rs1: Reg },
+    /// `mret` — return from a machine-mode trap.
+    Mret,
+    /// Any undecodable word.
+    Illegal(u32),
+}
+
+impl Instruction {
+    /// Canonical no-operation (`addi x0, x0, 0`).
+    pub fn nop() -> Self {
+        Instruction::Addi { rd: 0, rs1: 0, imm: 0 }
+    }
+
+    /// Encodes the instruction into its 32-bit RV32I representation.
+    pub fn encode(&self) -> u32 {
+        use Instruction::*;
+        fn r(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+            (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+        }
+        fn i(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+            (((imm as u32) & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+        }
+        fn s(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+            let imm = imm as u32;
+            ((imm >> 5 & 0x7f) << 25)
+                | (rs2 << 20)
+                | (rs1 << 15)
+                | (funct3 << 12)
+                | ((imm & 0x1f) << 7)
+                | opcode
+        }
+        fn b(offset: i32, rs2: u32, rs1: u32, funct3: u32) -> u32 {
+            let o = offset as u32;
+            ((o >> 12 & 1) << 31)
+                | ((o >> 5 & 0x3f) << 25)
+                | (rs2 << 20)
+                | (rs1 << 15)
+                | (funct3 << 12)
+                | ((o >> 1 & 0xf) << 8)
+                | ((o >> 11 & 1) << 7)
+                | 0b1100011
+        }
+        match *self {
+            Lui { rd, imm } => (imm & 0xffff_f000) | (rd << 7) | 0b0110111,
+            Jal { rd, offset } => {
+                let o = offset as u32;
+                ((o >> 20 & 1) << 31)
+                    | ((o >> 1 & 0x3ff) << 21)
+                    | ((o >> 11 & 1) << 20)
+                    | ((o >> 12 & 0xff) << 12)
+                    | (rd << 7)
+                    | 0b1101111
+            }
+            Beq { rs1, rs2, offset } => b(offset, rs2, rs1, 0b000),
+            Bne { rs1, rs2, offset } => b(offset, rs2, rs1, 0b001),
+            Lw { rd, rs1, offset } => i(offset, rs1, 0b010, rd, 0b0000011),
+            Sw { rs1, rs2, offset } => s(offset, rs2, rs1, 0b010, 0b0100011),
+            Addi { rd, rs1, imm } => i(imm, rs1, 0b000, rd, 0b0010011),
+            Andi { rd, rs1, imm } => i(imm, rs1, 0b111, rd, 0b0010011),
+            Ori { rd, rs1, imm } => i(imm, rs1, 0b110, rd, 0b0010011),
+            Xori { rd, rs1, imm } => i(imm, rs1, 0b100, rd, 0b0010011),
+            Add { rd, rs1, rs2 } => r(0, rs2, rs1, 0b000, rd, 0b0110011),
+            Sub { rd, rs1, rs2 } => r(0b0100000, rs2, rs1, 0b000, rd, 0b0110011),
+            And { rd, rs1, rs2 } => r(0, rs2, rs1, 0b111, rd, 0b0110011),
+            Or { rd, rs1, rs2 } => r(0, rs2, rs1, 0b110, rd, 0b0110011),
+            Xor { rd, rs1, rs2 } => r(0, rs2, rs1, 0b100, rd, 0b0110011),
+            Sltu { rd, rs1, rs2 } => r(0, rs2, rs1, 0b011, rd, 0b0110011),
+            Csrrw { rd, csr, rs1 } => (csr << 20) | (rs1 << 15) | (0b001 << 12) | (rd << 7) | 0b1110011,
+            Csrrs { rd, csr, rs1 } => (csr << 20) | (rs1 << 15) | (0b010 << 12) | (rd << 7) | 0b1110011,
+            Mret => 0x3020_0073,
+            Illegal(word) => word,
+        }
+    }
+
+    /// Decodes a 32-bit word into an instruction.
+    pub fn decode(word: u32) -> Self {
+        use Instruction::*;
+        let opcode = word & 0x7f;
+        let rd = (word >> 7) & 0x1f;
+        let funct3 = (word >> 12) & 0x7;
+        let rs1 = (word >> 15) & 0x1f;
+        let rs2 = (word >> 20) & 0x1f;
+        let funct7 = word >> 25;
+        let imm_i = (word as i32) >> 20;
+        let imm_s = (((word >> 25) << 5 | rd) as i32) << 20 >> 20;
+        let imm_b = {
+            let imm = ((word >> 31) & 1) << 12
+                | ((word >> 7) & 1) << 11
+                | ((word >> 25) & 0x3f) << 5
+                | ((word >> 8) & 0xf) << 1;
+            (imm as i32) << 19 >> 19
+        };
+        let imm_j = {
+            let imm = ((word >> 31) & 1) << 20
+                | ((word >> 12) & 0xff) << 12
+                | ((word >> 20) & 1) << 11
+                | ((word >> 21) & 0x3ff) << 1;
+            (imm as i32) << 11 >> 11
+        };
+        match opcode {
+            0b0110111 => Lui { rd, imm: word & 0xffff_f000 },
+            0b1101111 => Jal { rd, offset: imm_j },
+            0b1100011 => match funct3 {
+                0b000 => Beq { rs1, rs2, offset: imm_b },
+                0b001 => Bne { rs1, rs2, offset: imm_b },
+                _ => Illegal(word),
+            },
+            0b0000011 if funct3 == 0b010 => Lw { rd, rs1, offset: imm_i },
+            0b0100011 if funct3 == 0b010 => Sw { rs1, rs2, offset: imm_s },
+            0b0010011 => match funct3 {
+                0b000 => Addi { rd, rs1, imm: imm_i },
+                0b111 => Andi { rd, rs1, imm: imm_i },
+                0b110 => Ori { rd, rs1, imm: imm_i },
+                0b100 => Xori { rd, rs1, imm: imm_i },
+                _ => Illegal(word),
+            },
+            0b0110011 => match (funct7, funct3) {
+                (0, 0b000) => Add { rd, rs1, rs2 },
+                (0b0100000, 0b000) => Sub { rd, rs1, rs2 },
+                (0, 0b111) => And { rd, rs1, rs2 },
+                (0, 0b110) => Or { rd, rs1, rs2 },
+                (0, 0b100) => Xor { rd, rs1, rs2 },
+                (0, 0b011) => Sltu { rd, rs1, rs2 },
+                _ => Illegal(word),
+            },
+            0b1110011 => {
+                if word == 0x3020_0073 {
+                    Mret
+                } else {
+                    match funct3 {
+                        0b001 => Csrrw { rd, csr: word >> 20, rs1 },
+                        0b010 => Csrrs { rd, csr: word >> 20, rs1 },
+                        _ => Illegal(word),
+                    }
+                }
+            }
+            _ => Illegal(word),
+        }
+    }
+
+    /// Destination register written by the instruction, if any.
+    pub fn rd(&self) -> Option<Reg> {
+        use Instruction::*;
+        match *self {
+            Lui { rd, .. } | Jal { rd, .. } | Lw { rd, .. } | Addi { rd, .. } | Andi { rd, .. }
+            | Ori { rd, .. } | Xori { rd, .. } | Add { rd, .. } | Sub { rd, .. } | And { rd, .. }
+            | Or { rd, .. } | Xor { rd, .. } | Sltu { rd, .. } | Csrrw { rd, .. } | Csrrs { rd, .. } => {
+                (rd != 0).then_some(rd)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Lui { rd, imm } => write!(f, "lui x{rd}, {:#x}", imm >> 12),
+            Jal { rd, offset } => write!(f, "jal x{rd}, {offset}"),
+            Beq { rs1, rs2, offset } => write!(f, "beq x{rs1}, x{rs2}, {offset}"),
+            Bne { rs1, rs2, offset } => write!(f, "bne x{rs1}, x{rs2}, {offset}"),
+            Lw { rd, rs1, offset } => write!(f, "lw x{rd}, {offset}(x{rs1})"),
+            Sw { rs1, rs2, offset } => write!(f, "sw x{rs2}, {offset}(x{rs1})"),
+            Addi { rd, rs1, imm } => write!(f, "addi x{rd}, x{rs1}, {imm}"),
+            Andi { rd, rs1, imm } => write!(f, "andi x{rd}, x{rs1}, {imm}"),
+            Ori { rd, rs1, imm } => write!(f, "ori x{rd}, x{rs1}, {imm}"),
+            Xori { rd, rs1, imm } => write!(f, "xori x{rd}, x{rs1}, {imm}"),
+            Add { rd, rs1, rs2 } => write!(f, "add x{rd}, x{rs1}, x{rs2}"),
+            Sub { rd, rs1, rs2 } => write!(f, "sub x{rd}, x{rs1}, x{rs2}"),
+            And { rd, rs1, rs2 } => write!(f, "and x{rd}, x{rs1}, x{rs2}"),
+            Or { rd, rs1, rs2 } => write!(f, "or x{rd}, x{rs1}, x{rs2}"),
+            Xor { rd, rs1, rs2 } => write!(f, "xor x{rd}, x{rs1}, x{rs2}"),
+            Sltu { rd, rs1, rs2 } => write!(f, "sltu x{rd}, x{rs1}, x{rs2}"),
+            Csrrw { rd, csr, rs1 } => write!(f, "csrrw x{rd}, {csr:#x}, x{rs1}"),
+            Csrrs { rd, csr, rs1 } => write!(f, "csrrs x{rd}, {csr:#x}, x{rs1}"),
+            Mret => write!(f, "mret"),
+            Illegal(w) => write!(f, ".word {w:#010x}"),
+        }
+    }
+}
+
+/// An assembled program: a base address plus a sequence of instructions.
+///
+/// # Examples
+///
+/// ```
+/// use soc::{Program, Instruction};
+///
+/// let mut p = Program::new(0x0);
+/// p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 5 });
+/// p.push(Instruction::Addi { rd: 2, rs1: 1, imm: 3 });
+/// assert_eq!(p.len(), 2);
+/// assert!(p.fetch(0x4).is_some());
+/// assert!(p.fetch(0x40).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    base: u32,
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program starting at `base` (word aligned).
+    pub fn new(base: u32) -> Self {
+        assert_eq!(base % 4, 0, "program base must be word aligned");
+        Self { base, instructions: Vec::new() }
+    }
+
+    /// Base address of the first instruction.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Appends an instruction and returns its address.
+    pub fn push(&mut self, instruction: Instruction) -> u32 {
+        let addr = self.base + 4 * self.instructions.len() as u32;
+        self.instructions.push(instruction);
+        addr
+    }
+
+    /// Appends `count` no-operations.
+    pub fn push_nops(&mut self, count: usize) {
+        for _ in 0..count {
+            self.push(Instruction::nop());
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The instruction stored at a byte address, if the address falls inside
+    /// the program.
+    pub fn fetch(&self, addr: u32) -> Option<Instruction> {
+        if addr < self.base || (addr - self.base) % 4 != 0 {
+            return None;
+        }
+        self.instructions.get(((addr - self.base) / 4) as usize).copied()
+    }
+
+    /// The encoded instruction word at a byte address (`nop` outside the
+    /// program so that straight-line fetch never sees an illegal word).
+    pub fn fetch_word(&self, addr: u32) -> u32 {
+        self.fetch(addr).unwrap_or_else(Instruction::nop).encode()
+    }
+
+    /// Iterates over `(address, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Instruction)> + '_ {
+        self.instructions
+            .iter()
+            .enumerate()
+            .map(move |(i, &ins)| (self.base + 4 * i as u32, ins))
+    }
+
+    /// Renders the program as an assembly listing.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (addr, ins) in self.iter() {
+            let _ = writeln!(out, "{addr:#06x}:  {ins}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ins: Instruction) {
+        let encoded = ins.encode();
+        let decoded = Instruction::decode(encoded);
+        assert_eq!(decoded, ins, "roundtrip failed for {ins} ({encoded:#010x})");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_for_every_instruction_kind() {
+        roundtrip(Instruction::Lui { rd: 3, imm: 0xabcd_e000 });
+        roundtrip(Instruction::Jal { rd: 1, offset: -8 });
+        roundtrip(Instruction::Jal { rd: 0, offset: 2044 });
+        roundtrip(Instruction::Beq { rs1: 1, rs2: 2, offset: 16 });
+        roundtrip(Instruction::Bne { rs1: 3, rs2: 0, offset: -12 });
+        roundtrip(Instruction::Lw { rd: 4, rs1: 1, offset: -4 });
+        roundtrip(Instruction::Sw { rs1: 2, rs2: 3, offset: 8 });
+        roundtrip(Instruction::Addi { rd: 2, rs1: 2, imm: -1 });
+        roundtrip(Instruction::Andi { rd: 2, rs1: 2, imm: 0xff });
+        roundtrip(Instruction::Ori { rd: 2, rs1: 2, imm: 0x7f });
+        roundtrip(Instruction::Xori { rd: 2, rs1: 2, imm: -2048 });
+        roundtrip(Instruction::Add { rd: 5, rs1: 6, rs2: 7 });
+        roundtrip(Instruction::Sub { rd: 5, rs1: 6, rs2: 7 });
+        roundtrip(Instruction::And { rd: 1, rs1: 2, rs2: 3 });
+        roundtrip(Instruction::Or { rd: 1, rs1: 2, rs2: 3 });
+        roundtrip(Instruction::Xor { rd: 1, rs1: 2, rs2: 3 });
+        roundtrip(Instruction::Sltu { rd: 1, rs1: 2, rs2: 3 });
+        roundtrip(Instruction::Csrrw { rd: 0, csr: csr::PMPADDR0, rs1: 5 });
+        roundtrip(Instruction::Csrrs { rd: 3, csr: csr::CYCLE, rs1: 0 });
+        roundtrip(Instruction::Mret);
+    }
+
+    #[test]
+    fn known_encodings_match_the_riscv_spec() {
+        // addi x0, x0, 0 is the canonical NOP 0x00000013.
+        assert_eq!(Instruction::nop().encode(), 0x0000_0013);
+        // mret fixed encoding.
+        assert_eq!(Instruction::Mret.encode(), 0x3020_0073);
+        // lw x4, 0(x1) => 0x0000a203.
+        assert_eq!(Instruction::Lw { rd: 4, rs1: 1, offset: 0 }.encode(), 0x0000_a203);
+        // sw x3, 0(x2) => 0x00312023.
+        assert_eq!(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 }.encode(), 0x0031_2023);
+    }
+
+    #[test]
+    fn undecodable_words_are_illegal() {
+        assert!(matches!(Instruction::decode(0xffff_ffff), Instruction::Illegal(_)));
+        assert!(matches!(Instruction::decode(0x0000_0000), Instruction::Illegal(_)));
+    }
+
+    #[test]
+    fn rd_reports_written_register() {
+        assert_eq!(Instruction::Addi { rd: 3, rs1: 0, imm: 1 }.rd(), Some(3));
+        assert_eq!(Instruction::Addi { rd: 0, rs1: 0, imm: 1 }.rd(), None);
+        assert_eq!(Instruction::Sw { rs1: 1, rs2: 2, offset: 0 }.rd(), None);
+        assert_eq!(Instruction::Beq { rs1: 1, rs2: 2, offset: 4 }.rd(), None);
+    }
+
+    #[test]
+    fn program_fetch_and_listing() {
+        let mut p = Program::new(0x10);
+        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 7 });
+        p.push(Instruction::Add { rd: 2, rs1: 1, rs2: 1 });
+        p.push_nops(2);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.fetch(0x10), Some(Instruction::Addi { rd: 1, rs1: 0, imm: 7 }));
+        assert_eq!(p.fetch(0x14), Some(Instruction::Add { rd: 2, rs1: 1, rs2: 1 }));
+        assert_eq!(p.fetch(0x0c), None);
+        assert_eq!(p.fetch(0x11), None);
+        assert_eq!(p.fetch_word(0x1000), Instruction::nop().encode());
+        let listing = p.listing();
+        assert!(listing.contains("addi x1, x0, 7"));
+        assert!(listing.contains("0x0014"));
+    }
+
+    #[test]
+    fn display_of_key_instructions() {
+        assert_eq!(Instruction::Lw { rd: 4, rs1: 1, offset: 0 }.to_string(), "lw x4, 0(x1)");
+        assert_eq!(Instruction::Mret.to_string(), "mret");
+        assert_eq!(
+            Instruction::Lui { rd: 1, imm: 0x1000 }.to_string(),
+            "lui x1, 0x1"
+        );
+    }
+}

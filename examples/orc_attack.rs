@@ -1,0 +1,97 @@
+//! The Orc attack (paper Fig. 2): a read-after-write hazard in the
+//! core-to-cache interface is turned into a timing covert channel that leaks
+//! the low bits of a PMP-protected secret.
+//!
+//! The attack program is run on both the Orc-vulnerable design variant and
+//! the original (secure) design. On the vulnerable design the measured
+//! execution time depends on whether the attacker's guess collides with the
+//! secret's cache index; on the secure design the timing is constant.
+//!
+//! ```text
+//! cargo run --release --example orc_attack
+//! ```
+
+use soc::{Instruction, Program, SocConfig, SocSim, SocVariant};
+
+/// Builds one iteration of the paper's Fig. 2 for a given guess.
+///
+/// ```text
+/// 1: li   x1, #protected_addr
+/// 2: li   x2, #accessible_addr
+/// 3: addi x2, x2, #test_value
+/// 4: sw   x3, 0(x2)
+/// 5: lw   x4, 0(x1)        ; illegal access, will trap
+/// 6: lw   x5, 0(x4)        ; transient, address = secret
+/// ```
+fn attack_program(config: &SocConfig, test_value: u32) -> Program {
+    let accessible = 0x40u32; // cache-index-aligned user array
+    let mut p = Program::new(0);
+    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
+    p.push(Instruction::Addi { rd: 2, rs1: 0, imm: accessible as i32 });
+    p.push(Instruction::Addi { rd: 2, rs1: 2, imm: (test_value * 4) as i32 });
+    p.push(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 });
+    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
+    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+    p.push_nops(2);
+    p
+}
+
+/// Runs one attack iteration and returns the cycles until the trap is taken.
+fn measure(variant: SocVariant, secret: u32, test_value: u32) -> u64 {
+    let config = SocConfig::new(variant);
+    let program = attack_program(&config, test_value);
+    let mut sim = SocSim::new(config.clone(), program);
+    sim.protect_secret_region();
+    sim.preload_secret_in_cache(secret);
+    sim.run_until_trap(300).expect("the illegal load must trap")
+}
+
+fn main() {
+    // The secret's low bits select a cache line; the attacker guesses them.
+    let config = SocConfig::new(SocVariant::Orc);
+    let lines = config.cache_lines;
+    let secret = 0x184; // word address 0x61 -> cache index 1 (with 4 lines)
+    let secret_index = (secret >> 2) % lines;
+    // The attacker's own illegal probe (instruction #5) reads the protected
+    // address, whose cache index is public knowledge; the guess colliding
+    // with it always stalls and is calibrated away, exactly like a real
+    // attacker would.
+    let known_conflict = (config.secret_addr >> 2) % lines;
+
+    for variant in [SocVariant::Orc, SocVariant::Secure] {
+        println!("--- {} design ---", variant.name());
+        let mut timings = Vec::new();
+        for guess in 0..lines {
+            let cycles = measure(variant, secret, guess);
+            let note = if guess == known_conflict { " (known self-conflict, ignored)" } else { "" };
+            timings.push((guess, cycles));
+            println!("guess index {guess}: {cycles} cycles until the exception{note}");
+        }
+        let usable: Vec<_> = timings.iter().filter(|&&(g, _)| g != known_conflict).collect();
+        let max = usable.iter().map(|&&(_, c)| c).max().unwrap();
+        let min = usable.iter().map(|&&(_, c)| c).min().unwrap();
+        if max != min {
+            let (leaked, _) = usable.iter().find(|&&&(_, c)| c == max).unwrap();
+            println!(
+                "timing difference of {} cycles leaks the secret's cache index: {} (actual {})",
+                max - min,
+                leaked,
+                secret_index
+            );
+            assert_eq!(*leaked, secret_index);
+            assert_eq!(variant, SocVariant::Orc, "only the Orc variant may leak");
+        } else {
+            println!("constant timing: no covert channel observable");
+            assert_eq!(variant, SocVariant::Secure);
+        }
+        // In neither design does the secret architecturally reach a register.
+        let config = SocConfig::new(variant);
+        let mut sim = SocSim::new(config.clone(), attack_program(&config, 0));
+        sim.protect_secret_region();
+        sim.preload_secret_in_cache(secret);
+        sim.run(100);
+        assert_eq!(sim.reg(4), 0, "x4 never receives the secret");
+    }
+    println!("\nThe Orc covert channel exists without any architectural leak —");
+    println!("exactly the class of vulnerability UPEC detects exhaustively.");
+}

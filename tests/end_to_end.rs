@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: the full stack from RTL generation through
+//! simulation and formal UPEC analysis.
+
+use soc::{Instruction, Program, SocConfig, SocSim, SocVariant};
+use upec::{
+    prove_alert_closure, run_methodology, AlertKind, SecretScenario, UpecChecker, UpecModel,
+    UpecOptions, Verdict,
+};
+
+fn formal_config(variant: SocVariant) -> SocConfig {
+    SocConfig::new(variant)
+        .with_registers(4)
+        .with_cache_lines(2)
+        .with_miss_latency(1)
+        .with_store_latency(1)
+}
+
+/// The Orc attack measured on the simulator: the vulnerable design shows a
+/// secret-dependent timing difference, the secure design does not, and in
+/// neither design does the secret reach an architectural register.
+#[test]
+fn orc_attack_timing_channel_exists_only_in_the_vulnerable_design() {
+    let secret = 0x184u32; // maps to cache index 1 (4 lines, word lines)
+    let measure = |variant: SocVariant, guess: u32| -> u64 {
+        let config = SocConfig::new(variant);
+        let accessible = 0x40u32;
+        let mut p = Program::new(0);
+        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
+        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: accessible as i32 });
+        p.push(Instruction::Addi { rd: 2, rs1: 2, imm: (guess * 4) as i32 });
+        p.push(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 });
+        p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
+        p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+        p.push_nops(2);
+        let mut sim = SocSim::new(config, p);
+        sim.protect_secret_region();
+        sim.preload_secret_in_cache(secret);
+        let cycles = sim.run_until_trap(300).expect("illegal access must trap");
+        assert_eq!(sim.reg(4), 0, "secret must never reach x4");
+        cycles
+    };
+
+    let config = SocConfig::new(SocVariant::Orc);
+    let lines = config.cache_lines;
+    // The guess that collides with the protected address itself always
+    // stalls (the attacker's own probe); a real attacker calibrates it away,
+    // so it is excluded from the comparison.
+    let known_conflict = (config.secret_addr >> 2) % lines;
+    let usable: Vec<u32> = (0..lines).filter(|&g| g != known_conflict).collect();
+    let orc: Vec<(u32, u64)> = usable.iter().map(|&g| (g, measure(SocVariant::Orc, g))).collect();
+    let secure: Vec<(u32, u64)> = usable.iter().map(|&g| (g, measure(SocVariant::Secure, g))).collect();
+
+    let orc_min = orc.iter().map(|&(_, c)| c).min().unwrap();
+    let orc_max = orc.iter().map(|&(_, c)| c).max().unwrap();
+    assert!(orc_max > orc_min, "Orc design must show a timing difference: {orc:?}");
+    let slow_guess = orc.iter().find(|&&(_, c)| c == orc_max).unwrap().0;
+    assert_eq!(slow_guess, (secret >> 2) % lines, "the slow guess reveals the secret's index");
+
+    let secure_min = secure.iter().map(|&(_, c)| c).min().unwrap();
+    let secure_max = secure.iter().map(|&(_, c)| c).max().unwrap();
+    assert_eq!(secure_min, secure_max, "secure design must be constant time: {secure:?}");
+}
+
+/// The Meltdown-style variant leaves a secret-dependent cache footprint; the
+/// secure design does not.
+#[test]
+fn meltdown_style_cache_footprint_depends_on_the_secret() {
+    let footprint = |variant: SocVariant, secret: u32| -> Vec<u64> {
+        let config = SocConfig::new(variant);
+        let mut p = Program::new(0);
+        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
+        p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
+        p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+        p.push_nops(2);
+        let mut sim = SocSim::new(config.clone(), p);
+        sim.protect_secret_region();
+        sim.preload_secret_in_cache(secret);
+        sim.store_word(secret, 0xaaaa_bbbb);
+        sim.run(60);
+        (0..config.cache_lines)
+            .map(|i| sim.register(&format!("dcache.valid{i}")))
+            .collect()
+    };
+    let a = footprint(SocVariant::MeltdownStyle, 0x184);
+    let b = footprint(SocVariant::MeltdownStyle, 0x188);
+    assert_ne!(a, b, "vulnerable design: footprint must depend on the secret");
+    let a = footprint(SocVariant::Secure, 0x184);
+    let b = footprint(SocVariant::Secure, 0x188);
+    assert_eq!(a, b, "secure design: footprint must not depend on the secret");
+}
+
+/// UPEC separates the secure design from all three vulnerable variants.
+#[test]
+fn upec_methodology_classifies_all_design_variants() {
+    // Secure design, secret not cached: proven with no alerts.
+    let model = UpecModel::new(&formal_config(SocVariant::Secure), SecretScenario::NotInCache);
+    let report = run_methodology(&model, UpecOptions::window(2));
+    assert_eq!(report.verdict, Verdict::Secure);
+    assert_eq!(report.p_alert_count(), 0);
+
+    // Secure design, secret cached: P-alerts only, closed by induction.
+    let model = UpecModel::new(&formal_config(SocVariant::Secure), SecretScenario::InCache);
+    let report = run_methodology(&model, UpecOptions::window(2));
+    assert_eq!(report.verdict, Verdict::Secure, "{}", report.summary());
+    assert!(report.p_alert_count() >= 1);
+    assert!(prove_alert_closure(&model, &report.p_alert_registers, None).is_closed());
+
+    // Orc variant: insecure.
+    let model = UpecModel::new(&formal_config(SocVariant::Orc), SecretScenario::InCache);
+    let report = run_methodology(&model, UpecOptions::window(4));
+    assert_eq!(report.verdict, Verdict::Insecure);
+    assert_eq!(report.alerts.last().unwrap().kind, AlertKind::LAlert);
+
+    // Meltdown-style variant: the transient refill makes the cache tag/valid
+    // state depend on the secret (the paper's "well-known starting point for
+    // side channel attacks"); the same check is proven on the secure design.
+    let cache_state_commitment = |model: &UpecModel| -> std::collections::BTreeSet<String> {
+        model
+            .pairs()
+            .iter()
+            .map(|p| p.name.clone())
+            .filter(|n| n.starts_with("dcache.tag") || n.starts_with("dcache.valid"))
+            .collect()
+    };
+    let checker = UpecChecker::new();
+    let model = UpecModel::new(&formal_config(SocVariant::MeltdownStyle), SecretScenario::InCache);
+    let outcome = checker.check(&model, UpecOptions::window(4), &cache_state_commitment(&model));
+    assert!(outcome.alert().is_some(), "meltdown-style refill must mark the cache");
+    let model = UpecModel::new(&formal_config(SocVariant::Secure), SecretScenario::InCache);
+    let outcome = checker.check(&model, UpecOptions::window(4), &cache_state_commitment(&model));
+    assert!(outcome.is_proven(), "secure design keeps the cache state unique");
+}
+
+/// The PMP TOR-lock bug (paper Sec. VII-C) is detected as a direct
+/// architectural leak, while the correct lock implementation is not.
+#[test]
+fn pmp_lock_bug_is_detected_as_an_l_alert() {
+    let checker = UpecChecker::new();
+    let buggy = UpecModel::new(&formal_config(SocVariant::PmpLockBug), SecretScenario::InCache);
+    // The shortest leaking scenario needs the locked base address to be moved
+    // (CSR write retiring), an `mret` into user mode and the now-permitted
+    // load to flow down the pipeline — roughly seven cycles — so the search
+    // starts there instead of paying for the short, alert-free windows.
+    let mut found_l_alert = false;
+    for k in 7..=9 {
+        if let Some(alert) = checker
+            .check_architectural(&buggy, UpecOptions::window(k))
+            .alert()
+        {
+            assert_eq!(alert.kind, AlertKind::LAlert);
+            found_l_alert = true;
+            break;
+        }
+    }
+    assert!(found_l_alert, "the lock bug must produce an L-alert");
+}
+
+/// Random fault-free programs executed on the RTL and on the ISA-level golden
+/// model reach the same architectural state.
+#[test]
+fn random_programs_cosimulate_against_the_golden_model() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let config = SocConfig::new(SocVariant::Secure);
+    let mut rng = StdRng::seed_from_u64(2024);
+    for trial in 0..8 {
+        let mut p = Program::new(0);
+        // Seed registers with small values and a valid pointer.
+        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 0x40 });
+        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: rng.gen_range(0..100) });
+        p.push(Instruction::Addi { rd: 3, rs1: 0, imm: rng.gen_range(0..100) });
+        for _ in 0..12 {
+            let rd = rng.gen_range(2..8);
+            let rs1 = rng.gen_range(0..8);
+            let rs2 = rng.gen_range(0..8);
+            let choice = rng.gen_range(0..8);
+            let ins = match choice {
+                0 => Instruction::Add { rd, rs1, rs2 },
+                1 => Instruction::Sub { rd, rs1, rs2 },
+                2 => Instruction::Xor { rd, rs1, rs2 },
+                3 => Instruction::Or { rd, rs1, rs2 },
+                4 => Instruction::Sltu { rd, rs1, rs2 },
+                5 => Instruction::Addi { rd, rs1, imm: rng.gen_range(-64..64) },
+                6 => Instruction::Sw { rs1: 1, rs2, offset: 4 * rng.gen_range(0..4) },
+                _ => Instruction::Lw { rd, rs1: 1, offset: 4 * rng.gen_range(0..4) },
+            };
+            p.push(ins);
+        }
+        p.push_nops(4);
+
+        let mut sim = SocSim::new(config.clone(), p.clone());
+        let mut golden = sim.golden();
+        sim.run(400);
+        golden.run(&p, &config, 400);
+        for r in 1..config.num_registers {
+            assert_eq!(
+                sim.reg(r),
+                golden.regs[r as usize],
+                "trial {trial}: x{r} mismatch\n{}",
+                p.listing()
+            );
+        }
+    }
+}
