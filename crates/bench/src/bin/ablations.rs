@@ -13,16 +13,16 @@
 //! cargo run --release -p bench --bin ablations
 //! ```
 
-use bench::{formal_config, secs};
+use bench::secs;
 use soc::{SocConfig, SocVariant};
-use upec::{SecretScenario, UpecChecker, UpecModel, UpecOptions};
+use upec::{scenarios, SecretScenario, UpecChecker, UpecModel, UpecOptions};
 
 fn main() {
     let checker = UpecChecker::new();
 
     println!("Ablation 1 — symbolic initial state (IPC) vs reset-state BMC, Orc variant");
     println!("{:>8} {:>18} {:>18}", "window", "IPC (any state)", "BMC (from reset)");
-    let model = UpecModel::new(&formal_config(SocVariant::Orc), SecretScenario::InCache);
+    let model = scenarios::by_id("orc").expect("registered scenario").build_model();
     for k in 1..=6 {
         let ipc = checker.check_architectural(&model, UpecOptions::window(k));
         let bmc = checker.check_architectural(&model, UpecOptions::window(k).from_reset());
@@ -42,7 +42,7 @@ fn main() {
 
     println!("Ablation 2 — proof effort vs window length, secure design, D in cache");
     println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "window", "variables", "clauses", "conflicts", "runtime");
-    let model = UpecModel::new(&formal_config(SocVariant::Secure), SecretScenario::InCache);
+    let model = scenarios::by_id("secure-cached").expect("registered scenario").build_model();
     for k in 1..=5 {
         let outcome = checker.check_architectural(&model, UpecOptions::window(k));
         let s = outcome.stats();

@@ -7,23 +7,31 @@
 //! cargo run --release -p bench --bin debug_alert [variant] [window]
 //! ```
 
-use bench::formal_config;
 use bmc::{UnrollOptions, Unrolling};
 use sat::SatResult;
-use soc::SocVariant;
-use upec::{SecretScenario, StateClass, UpecModel};
+use upec::{scenarios, StateClass};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let variant = match args.get(1).map(String::as_str) {
-        Some("orc") => SocVariant::Orc,
-        Some("meltdown") => SocVariant::MeltdownStyle,
-        Some("pmp") => SocVariant::PmpLockBug,
-        _ => SocVariant::Secure,
+    // Accept either a registry scenario id or the legacy variant shorthand.
+    let id = match args.get(1).map(String::as_str) {
+        Some("orc") | None => "orc",
+        Some("meltdown") => "meltdown",
+        Some("pmp") => "pmp-lock",
+        Some("secure") => "secure-cached",
+        Some(other) => other,
     };
+    let spec = scenarios::by_id(id).unwrap_or_else(|| {
+        eprintln!("unknown scenario `{id}`; registered ids:");
+        for s in scenarios::registry() {
+            eprintln!("  {:<18} {}", s.id, s.title);
+        }
+        std::process::exit(1);
+    });
+    let variant = spec.variant;
     let window: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
 
-    let model = UpecModel::new(&formal_config(variant), SecretScenario::InCache);
+    let model = spec.build_model();
     let aliases: Vec<_> = model
         .pairs()
         .iter()

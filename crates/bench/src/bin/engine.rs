@@ -1,0 +1,79 @@
+//! Runs the parallel incremental UPEC engine over the scenario registry and
+//! prints the aggregated report — the "sweep everything" entry point.
+//!
+//! ```text
+//! cargo run --release -p bench --bin engine [-- --threads N] [--stripes N] [id ...]
+//! ```
+//!
+//! Without arguments every registered scenario is scanned. Scenario ids
+//! (e.g. `orc pmp-lock`) restrict the sweep.
+
+use upec::scenarios::{self, ScenarioSpec};
+use upec::{EngineOptions, UpecEngine};
+
+fn main() {
+    let mut threads: Option<usize> = None;
+    let mut stripes: Option<usize> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
+            "--stripes" => stripes = args.next().and_then(|v| v.parse().ok()),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let specs: Vec<ScenarioSpec> = if ids.is_empty() {
+        scenarios::registry()
+    } else {
+        ids.iter()
+            .map(|id| {
+                scenarios::by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown scenario `{id}`; registered ids:");
+                    for s in scenarios::registry() {
+                        eprintln!("  {:<18} {}", s.id, s.title);
+                    }
+                    std::process::exit(1);
+                })
+            })
+            .collect()
+    };
+
+    let mut options = EngineOptions::new();
+    if let Some(t) = threads {
+        options = options.with_threads(t);
+    }
+    if let Some(s) = stripes {
+        options = options.with_stripes(s);
+    }
+    println!(
+        "UPEC engine: {} scenarios, {} threads, {} stripe(s) per scenario\n",
+        specs.len(),
+        options.threads,
+        options.stripes
+    );
+    println!(
+        "{:<18} {:<34} {:<30} {:>9}",
+        "id", "title", "paper ref", "windows"
+    );
+    for spec in &specs {
+        println!(
+            "{:<18} {:<34} {:<30} {:>4}..={}",
+            spec.id, spec.title, spec.paper_ref, spec.start_window, spec.max_window
+        );
+    }
+    println!();
+
+    let report = UpecEngine::new(options).run(specs);
+    println!("{}", report.summary());
+    if report.all_match_expectations() {
+        println!("\nAll scenarios match their registered expectations.");
+    } else {
+        println!("\nWARNING: some scenarios deviate from their registered expectations:");
+        for r in report.results.iter().filter(|r| !r.matches_expectation()) {
+            println!("  {:<18} expected {:?}, got {:?}", r.spec.id, r.spec.expected, r.verdict);
+        }
+        std::process::exit(1);
+    }
+}

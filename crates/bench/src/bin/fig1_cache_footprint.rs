@@ -6,12 +6,16 @@
 //! cargo run --release -p bench --bin fig1_cache_footprint
 //! ```
 
-use bench::{sim_config, transient_program};
-use soc::{SocSim, SocVariant};
+use soc::{SocConfig, SocSim, SocVariant};
+use upec::scenarios;
 
 fn footprint(variant: SocVariant, secret: u32) -> Vec<u64> {
-    let config = sim_config(variant);
-    let mut sim = SocSim::new(config.clone(), transient_program(&config));
+    let spec = scenarios::by_id("cache-footprint").expect("registered scenario");
+    let config = SocConfig::new(variant);
+    let program = spec
+        .demo_program(&config)
+        .expect("the footprint scenario ships a demo program");
+    let mut sim = SocSim::new(config.clone(), program);
     sim.protect_secret_region();
     sim.preload_secret_in_cache(secret);
     sim.store_word(secret, 0x1234_5678);

@@ -6,19 +6,20 @@
 //! cargo run --release -p bench --bin fig2_orc_attack
 //! ```
 
-use bench::{orc_attack_program, sim_config};
-use soc::{SocSim, SocVariant};
+use soc::{SocConfig, SocSim, SocVariant};
+use upec::scenarios;
 
 fn measure(variant: SocVariant, secret: u32, guess: u32) -> u64 {
-    let config = sim_config(variant);
-    let mut sim = SocSim::new(config.clone(), orc_attack_program(&config, guess));
+    let config = SocConfig::new(variant);
+    let program = scenarios::orc_attack_program(&config, guess);
+    let mut sim = SocSim::new(config.clone(), program);
     sim.protect_secret_region();
     sim.preload_secret_in_cache(secret);
     sim.run_until_trap(500).expect("the illegal access must trap")
 }
 
 fn main() {
-    let config = sim_config(SocVariant::Orc);
+    let config = scenarios::by_id("orc").expect("registered scenario").sim_config();
     let lines = config.cache_lines;
     // The guess equal to the protected address's own cache index always
     // stalls (the attacker's probe load conflicts with its own store); a real

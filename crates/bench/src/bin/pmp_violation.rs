@@ -7,20 +7,21 @@
 //! cargo run --release -p bench --bin pmp_violation
 //! ```
 
-use bench::{formal_config, secs};
-use soc::SocVariant;
-use upec::{SecretScenario, UpecChecker, UpecModel, UpecOptions};
+use bench::secs;
+use upec::{scenarios, UpecChecker, UpecOptions};
 
 fn main() {
     println!("Sec. VII-C — PMP TOR-lock violation\n");
     let checker = UpecChecker::new();
-    for variant in [SocVariant::PmpLockBug, SocVariant::Secure] {
-        let model = UpecModel::new(&formal_config(variant), SecretScenario::InCache);
+    let pmp = scenarios::by_id("pmp-lock").expect("registered scenario");
+    for spec in [pmp, scenarios::by_id("secure-arch-only").expect("registered scenario")] {
+        let model = spec.build_model();
         let mut verdict = "no L-alert up to the window bound".to_string();
         let mut runtime = std::time::Duration::ZERO;
         // The shortest leaking scenario (move the locked base, mret, load the
-        // secret) spans about seven cycles; start the search there.
-        for k in 7..=9 {
+        // secret) spans about seven cycles; the registry's window range for
+        // the pmp-lock scenario starts the search there.
+        for k in pmp.start_window..=pmp.max_window {
             let outcome = checker.check_architectural(&model, UpecOptions::window(k));
             runtime += outcome.stats().runtime;
             if let Some(alert) = outcome.alert() {
@@ -31,7 +32,7 @@ fn main() {
                 break;
             }
         }
-        println!("{:>14}: {verdict} ({} total solver time)", variant.name(), secs(runtime));
+        println!("{:>14}: {verdict} ({} total solver time)", spec.variant.name(), secs(runtime));
     }
     println!("\nShape check vs the paper: the buggy lock implementation lets privileged code");
     println!("move the base of a locked region, after which the 'protected' secret leaks");

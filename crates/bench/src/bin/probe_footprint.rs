@@ -1,0 +1,58 @@
+//! Temporary probe: the Meltdown-style cache-footprint obligation, old
+//! implementation vs incremental session, deeper windows.
+
+use bmc::{UnrollOptions, Unrolling};
+use sat::SatResult;
+use std::collections::BTreeSet;
+use std::time::Instant;
+use upec::engine::IncrementalSession;
+use upec::{scenarios, StateClass, UpecModel};
+
+fn old_check(model: &UpecModel, k: usize, commitment: &BTreeSet<String>) -> bool {
+    let aliases: Vec<_> = model
+        .pairs()
+        .iter()
+        .filter(|p| p.class != StateClass::Memory)
+        .map(|p| (p.signal2, p.signal1))
+        .collect();
+    let mut u = Unrolling::with_frame0_aliases(model.netlist(), UnrollOptions::default(), &aliases);
+    u.extend_to(k);
+    for c in model.initial_constraints() {
+        u.assume_signal_true(0, c.signal).unwrap();
+    }
+    for c in model.window_constraints() {
+        for f in 0..=k {
+            u.assume_signal_true(f, c.signal).unwrap();
+        }
+    }
+    let lits: Vec<_> = model
+        .pairs()
+        .iter()
+        .filter(|p| p.class != StateClass::Memory && commitment.contains(&p.name))
+        .map(|p| u.bit_lit(k, p.equal).unwrap())
+        .collect();
+    u.add_clause(lits.iter().map(|&l| !l));
+    matches!(u.solve(&[]), SatResult::Sat(_))
+}
+
+fn main() {
+    let spec = scenarios::by_id("cache-footprint").unwrap();
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+
+    let t = Instant::now();
+    let sat = old_check(&model, 4, &commitment);
+    println!("old  k=4: sat={sat} {:?}", t.elapsed());
+
+    let mut session = IncrementalSession::new(&model, None);
+    for k in 1..=7 {
+        let t = Instant::now();
+        let outcome = session.check_bound(k, &commitment);
+        println!(
+            "inc  k={k}: alert={:?} conflicts={} {:?}",
+            outcome.alert().map(|a| a.kind),
+            outcome.stats().conflicts,
+            t.elapsed()
+        );
+    }
+}

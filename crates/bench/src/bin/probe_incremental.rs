@@ -1,0 +1,87 @@
+//! Temporary probe: compare the seed's hard-clause, from-scratch check
+//! against the activation-literal incremental session on the same queries.
+
+use bmc::{UnrollOptions, Unrolling};
+use sat::SatResult;
+use std::collections::BTreeSet;
+use std::time::Instant;
+use upec::engine::IncrementalSession;
+use upec::{StateClass, UpecModel};
+
+/// The seed implementation: fresh unrolling, hard obligation clause.
+fn old_check(model: &UpecModel, k: usize, commitment: &BTreeSet<String>) -> (bool, u64) {
+    let aliases: Vec<_> = model
+        .pairs()
+        .iter()
+        .filter(|p| p.class != StateClass::Memory)
+        .map(|p| (p.signal2, p.signal1))
+        .collect();
+    let mut u = Unrolling::with_frame0_aliases(model.netlist(), UnrollOptions::default(), &aliases);
+    u.extend_to(k);
+    for c in model.initial_constraints() {
+        u.assume_signal_true(0, c.signal).unwrap();
+    }
+    for c in model.window_constraints() {
+        for f in 0..=k {
+            u.assume_signal_true(f, c.signal).unwrap();
+        }
+    }
+    let lits: Vec<_> = model
+        .pairs()
+        .iter()
+        .filter(|p| p.class != StateClass::Memory && commitment.contains(&p.name))
+        .map(|p| u.bit_lit(k, p.equal).unwrap())
+        .collect();
+    u.add_clause(lits.iter().map(|&l| !l));
+    let sat = matches!(u.solve(&[]), SatResult::Sat(_));
+    let st = u.solver_stats();
+    eprintln!(
+        "    vars={} clauses={} props={} decisions={} restarts={} learnt={} deleted={}",
+        u.num_vars(),
+        u.num_clauses(),
+        st.propagations,
+        st.decisions,
+        st.restarts,
+        st.learnt_clauses,
+        st.deleted_clauses
+    );
+    (sat, st.conflicts)
+}
+
+fn main() {
+    let spec = upec::scenarios::by_id("orc").unwrap();
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+
+    for k in 1..=3 {
+        let t = Instant::now();
+        let (sat, conflicts) = old_check(&model, k, &commitment);
+        println!("old  k={k}: sat={sat} conflicts={conflicts} {:?}", t.elapsed());
+    }
+
+    for k in 1..=3 {
+        let t = Instant::now();
+        let mut s = IncrementalSession::new(&model, None);
+        let outcome = s.check_bound(k, &commitment);
+        println!(
+            "new1 k={k}: alert={} conflicts={} {:?}",
+            outcome.alert().is_some(),
+            s.solver_stats().conflicts,
+            t.elapsed()
+        );
+    }
+
+    let t = Instant::now();
+    let mut s = IncrementalSession::new(&model, None);
+    for k in 1..=3 {
+        let tk = Instant::now();
+        let outcome = s.check_bound(k, &commitment);
+        println!(
+            "inc  k={k}: alert={} conflicts={} {:?}",
+            outcome.alert().is_some(),
+            s.solver_stats().conflicts,
+            tk.elapsed()
+        );
+    }
+    println!("incremental total: {:?}", t.elapsed());
+}

@@ -1,0 +1,61 @@
+//! Temporary probe: per-bound cost of candidate scenarios.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+use upec::engine::IncrementalSession;
+use upec::{scenarios, SecretScenario, StateClass, UpecModel};
+
+fn scan(label: &str, model: &UpecModel, commitment: &BTreeSet<String>, max_k: usize, budget_s: u64) {
+    let mut session = IncrementalSession::new(model, None);
+    let start = Instant::now();
+    for k in 1..=max_k {
+        let t = Instant::now();
+        let outcome = session.check_bound(k, commitment);
+        let alert = outcome
+            .alert()
+            .map(|a| format!("{:?}", a.kind))
+            .unwrap_or_else(|| "proven".into());
+        println!(
+            "{label:<24} k={k}: {alert:<8} conflicts={:<8} {:?}",
+            outcome.stats().conflicts,
+            t.elapsed()
+        );
+        if start.elapsed().as_secs() > budget_s {
+            println!("{label:<24} budget exhausted");
+            break;
+        }
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    let arch = |m: &UpecModel| -> BTreeSet<String> {
+        m.pairs_of_class(StateClass::Architectural).map(|p| p.name.clone()).collect()
+    };
+
+    if which.is_empty() || which == "meltdown-arch" {
+        let spec = scenarios::by_id("meltdown").unwrap();
+        let model = UpecModel::new(&spec.formal_config(), SecretScenario::InCache);
+        scan("meltdown-arch", &model, &arch(&model), 3, 120);
+    }
+    if which.is_empty() || which == "meltdown-full" {
+        let spec = scenarios::by_id("meltdown").unwrap();
+        let model = spec.build_model();
+        scan("meltdown-full", &model, &spec.commitment_set(&model), 3, 120);
+    }
+    if which.is_empty() || which == "cache-footprint" {
+        let spec = scenarios::by_id("cache-footprint").unwrap();
+        let model = spec.build_model();
+        scan("cache-footprint", &model, &spec.commitment_set(&model), 4, 120);
+    }
+    if which.is_empty() || which == "secure-cached-full" {
+        let spec = scenarios::by_id("secure-cached").unwrap();
+        let model = spec.build_model();
+        scan("secure-cached-full", &model, &spec.commitment_set(&model), 2, 120);
+    }
+    if which.is_empty() || which == "secure-arch" {
+        let spec = scenarios::by_id("secure-arch-only").unwrap();
+        let model = spec.build_model();
+        scan("secure-arch", &model, &spec.commitment_set(&model), 3, 120);
+    }
+}

@@ -6,19 +6,19 @@
 //! cargo run --release -p bench --bin table1
 //! ```
 
-use bench::{formal_config, secs};
-use soc::SocVariant;
-use upec::{prove_alert_closure, run_methodology, SecretScenario, UpecModel, UpecOptions, Verdict};
+use bench::secs;
+use upec::scenarios;
+use upec::{prove_alert_closure, run_methodology, UpecOptions, Verdict};
 
 fn main() {
-    let config = formal_config(SocVariant::Secure);
     println!("Table I — UPEC methodology experiments (original design)");
     println!("paper reference: d_MEM 5/34, feasible k 9/34, 20/0 P-alerts, 23/0 registers\n");
     println!("{:<38} {:>12} {:>14}", "", "D cached", "D not cached");
 
     let mut reports = Vec::new();
-    for scenario in [SecretScenario::InCache, SecretScenario::NotInCache] {
-        let model = UpecModel::new(&config, scenario);
+    for id in ["secure-cached", "secure-uncached"] {
+        let spec = scenarios::by_id(id).expect("registered scenario");
+        let model = spec.build_model();
         let d_mem = model.d_mem();
         // "Feasible k": the largest window we attempt within a conflict
         // budget; with the reduced design this is simply d_MEM.
@@ -29,7 +29,7 @@ fn main() {
         } else {
             None
         };
-        reports.push((scenario, d_mem, report, closure));
+        reports.push((spec.secret, d_mem, report, closure));
     }
 
     let mut rows: Vec<(String, String, String)> = Vec::new();

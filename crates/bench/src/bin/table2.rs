@@ -6,10 +6,9 @@
 //! cargo run --release -p bench --bin table2
 //! ```
 
-use bench::{formal_config, secs};
-use soc::SocVariant;
+use bench::secs;
 use std::time::Duration;
-use upec::{SecretScenario, UpecChecker, UpecModel, UpecOptions};
+use upec::{scenarios, UpecChecker, UpecOptions};
 
 struct Row {
     p_window: Option<usize>,
@@ -18,8 +17,9 @@ struct Row {
     l_runtime: Duration,
 }
 
-fn investigate(variant: SocVariant, max_window: usize) -> Row {
-    let model = UpecModel::new(&formal_config(variant), SecretScenario::InCache);
+fn investigate(scenario_id: &str, max_window: usize) -> Row {
+    let spec = scenarios::by_id(scenario_id).expect("registered scenario");
+    let model = spec.build_model();
     let checker = UpecChecker::new();
     let mut row = Row {
         p_window: None,
@@ -55,8 +55,8 @@ fn main() {
     println!("                 Meltdown-style P-alert k=4 / 1 min, L-alert k=9 / 18 min\n");
     println!("{:<34} {:>12} {:>16}", "", "Orc", "Meltdown-style");
 
-    let orc = investigate(SocVariant::Orc, 10);
-    let meltdown = investigate(SocVariant::MeltdownStyle, 12);
+    let orc = investigate("orc", 10);
+    let meltdown = investigate("meltdown", 12);
 
     let show = |v: &Option<usize>| v.map(|k| k.to_string()).unwrap_or_else(|| "-".into());
     println!(

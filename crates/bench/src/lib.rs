@@ -1,13 +1,25 @@
-//! Shared helpers for the benchmark harness that regenerates the paper's
-//! tables and figures.
+//! # `bench` — the benchmark harness
+//!
+//! Binaries and benches that regenerate the paper's tables and figures
+//! (Table I, Table II, Fig. 1, Fig. 2, the PMP finding of Sec. VII-C) plus
+//! the ablation studies and the parallel-engine speedup benchmark.
+//!
+//! All workloads are driven from the shared scenario registry in
+//! [`upec::scenarios`] — this crate only adds timing, formatting and
+//! command-line entry points. The helpers below are thin delegating wrappers
+//! kept for the binaries' convenience.
 
 #![warn(missing_docs)]
 
-use soc::{Instruction, Program, SocConfig, SocVariant};
+use soc::{Program, SocConfig, SocVariant};
+use upec::scenarios;
 
 /// A reduced SoC configuration that keeps the SAT problems small enough for
 /// the from-scratch solver while preserving every microarchitectural
 /// mechanism the paper's evaluation depends on.
+///
+/// Equals [`upec::scenarios::ScenarioSpec::formal_config`] for any registered
+/// scenario of the same variant.
 pub fn formal_config(variant: SocVariant) -> SocConfig {
     SocConfig::new(variant)
         .with_registers(4)
@@ -22,29 +34,15 @@ pub fn sim_config(variant: SocVariant) -> SocConfig {
 }
 
 /// One iteration of the Orc attack (paper Fig. 2) for a given guess of the
-/// secret's cache index.
+/// secret's cache index. Delegates to the scenario registry.
 pub fn orc_attack_program(config: &SocConfig, guess: u32) -> Program {
-    let accessible = 0x40u32;
-    let mut p = Program::new(0);
-    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-    p.push(Instruction::Addi { rd: 2, rs1: 0, imm: accessible as i32 });
-    p.push(Instruction::Addi { rd: 2, rs1: 2, imm: (guess * 4) as i32 });
-    p.push(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 });
-    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
-    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
-    p.push_nops(2);
-    p
+    scenarios::orc_attack_program(config, guess)
 }
 
 /// The Meltdown-style transient sequence used for the Fig. 1 footprint
-/// experiment.
+/// experiment. Delegates to the scenario registry.
 pub fn transient_program(config: &SocConfig) -> Program {
-    let mut p = Program::new(0);
-    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
-    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
-    p.push_nops(2);
-    p
+    scenarios::transient_program(config)
 }
 
 /// Formats a duration in seconds with two decimals (for table rows).
@@ -62,6 +60,13 @@ mod tests {
         let s = sim_config(SocVariant::Secure);
         assert!(f.cache_lines < s.cache_lines);
         assert_eq!(f.variant(), s.variant());
+    }
+
+    #[test]
+    fn helpers_agree_with_the_registry() {
+        let spec = scenarios::by_id("orc").expect("registered");
+        assert_eq!(formal_config(spec.variant), spec.formal_config());
+        assert_eq!(sim_config(spec.variant), spec.sim_config());
     }
 
     #[test]

@@ -1,0 +1,652 @@
+//! The transition-relation compiler: cone-of-influence pruning, word-level
+//! structural hashing and constant folding, performed **once** per netlist.
+//!
+//! The seed implementation re-walked the whole [`rtl::Netlist`] — string
+//! names, `enum` matching and all — for every time frame of every unrolling.
+//! This module separates that work into two phases:
+//!
+//! 1. **Compile** ([`CompiledTransition::compile`]): one pass over the
+//!    netlist produces a dense, topologically ordered *schedule* of
+//!    [`CompiledOp`]s. During the pass the compiler
+//!    * drops every node outside the [cone of influence](rtl::Coi) of the
+//!      declared roots (property signals, constraints, miter outputs),
+//!    * **hash-conses** structurally identical nodes (same operator, same
+//!      operand slots) onto one slot, so duplicated subterms — ubiquitous in
+//!      a two-instance UPEC miter — are encoded once per frame, and
+//!    * **constant-folds** nodes whose operands are known at compile time,
+//!      together with cheap word-level identities (`x ^ x = 0`,
+//!      `mux(c, a, a) = a`, `eq(x, x) = 1`, …).
+//! 2. **Clone per frame**: each time frame of an unrolling instantiates the
+//!    schedule with fresh literals. The per-frame work is a tight loop over
+//!    integer-indexed ops — no netlist traversal, no hashing, no strings.
+//!
+//! On top of the static schedule, [`crate::Unrolling`] encodes frames
+//! *lazily*: a slot is only Tseitin-encoded in a frame when a query
+//! (constraint, obligation, model extraction) actually reaches it, which
+//! implements the "per property and per frame" part of COI pruning — the
+//! final frame of a bounded proof never pays for next-state logic that no
+//! deeper frame consumes.
+
+use rtl::{BinaryOp, BitVec, Coi, CoiStats, Netlist, Node, RegisterId, SignalId, UnaryOp};
+use std::collections::HashMap;
+
+/// A scheduled operation. Operands are dense *slot* indices into the
+/// schedule, not netlist signal ids; every operand slot precedes its user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledOp {
+    /// Free primary input: fresh literals in every frame.
+    Input {
+        /// Bit width.
+        width: u32,
+    },
+    /// Compile-time constant (folded nodes land here too).
+    Const(BitVec),
+    /// Current-state value of a register. Frame 0 is symbolic / initial /
+    /// aliased; frame `t+1` clones the literals of the register's next-state
+    /// slot in frame `t`.
+    Register {
+        /// Register table index.
+        register: RegisterId,
+        /// Bit width.
+        width: u32,
+    },
+    /// Unary operator over one slot.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand slot.
+        a: u32,
+    },
+    /// Binary operator over two slots.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+    },
+    /// Two-way multiplexer.
+    Mux {
+        /// Single-bit select slot.
+        cond: u32,
+        /// Slot selected when `cond` is one.
+        then_: u32,
+        /// Slot selected when `cond` is zero.
+        else_: u32,
+    },
+    /// Bit-field extraction.
+    Slice {
+        /// Operand slot.
+        a: u32,
+        /// Most-significant extracted bit.
+        hi: u32,
+        /// Least-significant extracted bit.
+        lo: u32,
+    },
+    /// Concatenation (`hi` supplies the most-significant bits).
+    Concat {
+        /// Most-significant operand slot.
+        hi: u32,
+        /// Least-significant operand slot.
+        lo: u32,
+    },
+}
+
+/// Key for structural hashing: one entry per *defining* operation shape.
+/// Inputs and registers are state-carrying and never merge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum OpKey {
+    Const(BitVec),
+    Unary(UnaryOp, u32),
+    Binary(BinaryOp, u32, u32),
+    Mux(u32, u32, u32),
+    Slice(u32, u32, u32),
+    Concat(u32, u32),
+}
+
+/// Counters describing what one [`CompiledTransition::compile`] run did.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileStats {
+    /// Signals in the source netlist.
+    pub netlist_signals: usize,
+    /// Ops in the compiled schedule (what a frame encodes at most).
+    pub scheduled_slots: usize,
+    /// Signals dropped because they lie outside the cone of influence.
+    pub pruned_signals: usize,
+    /// Signals merged onto an existing slot by structural hashing.
+    pub hashed_signals: usize,
+    /// Signals eliminated by constant folding / word-level identities.
+    pub folded_signals: usize,
+    /// The underlying cone-of-influence analysis.
+    pub coi: CoiStats,
+}
+
+impl CompileStats {
+    /// Fraction of netlist signals that needed no slot of their own.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.netlist_signals == 0 {
+            return 0.0;
+        }
+        100.0 * (self.netlist_signals - self.scheduled_slots) as f64
+            / self.netlist_signals as f64
+    }
+}
+
+/// A netlist compiled into a dense transition-relation schedule.
+///
+/// The compiled form is immutable and self-contained (it holds no borrow of
+/// the netlist), so one compilation can be shared — via `Arc` — by every
+/// unrolling, session and portfolio stripe that proves properties of the
+/// same design.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::{BitVec, Netlist};
+/// use bmc::CompiledTransition;
+///
+/// let mut n = Netlist::new("cnt");
+/// let c = n.register_init("c", 4, BitVec::zero(4));
+/// let one = n.lit(1, 4);
+/// let next = n.add(c.value(), one);
+/// n.set_next(c, next);
+/// // The same expression built twice: structural hashing folds it away.
+/// let dup = n.add(c.value(), one);
+/// n.output("c", c.value());
+/// n.output("dup", dup);
+///
+/// let ct = CompiledTransition::compile(&n);
+/// assert_eq!(ct.slot_of(next), ct.slot_of(dup));
+/// assert!(ct.stats().hashed_signals >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledTransition {
+    ops: Vec<CompiledOp>,
+    widths: Vec<u32>,
+    /// Signal index → slot (`None` when pruned by COI).
+    slot_of: Vec<Option<u32>>,
+    /// Register index → slot of its next-state expression (`None` when the
+    /// register is outside the cone or has no next-state attached).
+    reg_next_slot: Vec<Option<u32>>,
+    /// Register index → initial value, if declared.
+    reg_init: Vec<Option<BitVec>>,
+    stats: CompileStats,
+}
+
+impl CompiledTransition {
+    /// Compiles the full netlist (every signal is treated as a root).
+    ///
+    /// Lazy per-frame encoding still prunes dynamically at solve time; use
+    /// [`CompiledTransition::compile_with_roots`] to additionally shrink the
+    /// static schedule and get meaningful COI statistics.
+    pub fn compile(netlist: &Netlist) -> Self {
+        Self::build(netlist, None)
+    }
+
+    /// Compiles only the cone of influence of `roots`.
+    ///
+    /// Queries against slots outside the cone fail with
+    /// [`crate::UnrollError::NotInSchedule`]; declare every signal a proof
+    /// may constrain, commit to or extract.
+    pub fn compile_with_roots(netlist: &Netlist, roots: &[SignalId]) -> Self {
+        Self::build(netlist, Some(roots))
+    }
+
+    fn build(netlist: &Netlist, roots: Option<&[SignalId]>) -> Self {
+        netlist
+            .validate()
+            .expect("netlist must be valid before compilation");
+        let coi = match roots {
+            Some(roots) => Coi::of(netlist, roots.iter().copied()),
+            None => Coi::of(netlist, netlist.signals()),
+        };
+
+        let mut ops: Vec<CompiledOp> = Vec::new();
+        let mut widths: Vec<u32> = Vec::new();
+        let mut slot_of: Vec<Option<u32>> = vec![None; netlist.len()];
+        let mut structural: HashMap<OpKey, u32> = HashMap::new();
+        let mut hashed_signals = 0usize;
+        let mut folded_signals = 0usize;
+        let mut pruned_signals = 0usize;
+
+        let push = |ops: &mut Vec<CompiledOp>, widths: &mut Vec<u32>, op: CompiledOp, w: u32| {
+            let slot = u32::try_from(ops.len()).expect("schedule exceeds u32 slots");
+            ops.push(op);
+            widths.push(w);
+            slot
+        };
+
+        for id in netlist.signals() {
+            if !coi.contains(id) {
+                pruned_signals += 1;
+                continue;
+            }
+            let node = netlist.node(id);
+            let width = node.width();
+            // Operand slots exist: the cone is closed under operands and the
+            // netlist is topologically ordered.
+            let slot = |sig: SignalId, slot_of: &[Option<u32>]| -> u32 {
+                slot_of[sig.index()].expect("operand slot scheduled before use")
+            };
+            let new_slot = match node {
+                Node::Input { width, .. } => {
+                    Some(push(&mut ops, &mut widths, CompiledOp::Input { width: *width }, *width))
+                }
+                Node::Const(v) => {
+                    let key = OpKey::Const(*v);
+                    if let Some(&existing) = structural.get(&key) {
+                        hashed_signals += 1;
+                        slot_of[id.index()] = Some(existing);
+                        None
+                    } else {
+                        let s = push(&mut ops, &mut widths, CompiledOp::Const(*v), v.width());
+                        structural.insert(key, s);
+                        Some(s)
+                    }
+                }
+                Node::Register { register, width, .. } => Some(push(
+                    &mut ops,
+                    &mut widths,
+                    CompiledOp::Register {
+                        register: *register,
+                        width: *width,
+                    },
+                    *width,
+                )),
+                Node::Unary { op, a, .. } => {
+                    let a = slot(*a, &slot_of);
+                    if let CompiledOp::Const(av) = &ops[a as usize] {
+                        folded_signals += 1;
+                        let folded = eval_unary(*op, av);
+                        slot_of[id.index()] =
+                            Some(intern_const(&mut ops, &mut widths, &mut structural, folded));
+                        None
+                    } else {
+                        let key = OpKey::Unary(*op, a);
+                        match structural.get(&key) {
+                            Some(&existing) => {
+                                hashed_signals += 1;
+                                slot_of[id.index()] = Some(existing);
+                                None
+                            }
+                            None => {
+                                let s = push(
+                                    &mut ops,
+                                    &mut widths,
+                                    CompiledOp::Unary { op: *op, a },
+                                    width,
+                                );
+                                structural.insert(key, s);
+                                Some(s)
+                            }
+                        }
+                    }
+                }
+                Node::Binary { op, a, b, .. } => {
+                    let (mut sa, mut sb) = (slot(*a, &slot_of), slot(*b, &slot_of));
+                    if op.is_commutative() && sa > sb {
+                        std::mem::swap(&mut sa, &mut sb);
+                    }
+                    let folded = match (&ops[sa as usize], &ops[sb as usize]) {
+                        (CompiledOp::Const(av), CompiledOp::Const(bv)) => {
+                            Some(FoldResult::Value(eval_binary(*op, av, bv)))
+                        }
+                        _ if sa == sb => fold_same_operand(*op, sa, width),
+                        _ => None,
+                    };
+                    match folded {
+                        Some(FoldResult::Value(v)) => {
+                            folded_signals += 1;
+                            slot_of[id.index()] =
+                                Some(intern_const(&mut ops, &mut widths, &mut structural, v));
+                            None
+                        }
+                        Some(FoldResult::Alias(s)) => {
+                            folded_signals += 1;
+                            slot_of[id.index()] = Some(s);
+                            None
+                        }
+                        None => {
+                            let key = OpKey::Binary(*op, sa, sb);
+                            match structural.get(&key) {
+                                Some(&existing) => {
+                                    hashed_signals += 1;
+                                    slot_of[id.index()] = Some(existing);
+                                    None
+                                }
+                                None => {
+                                    let s = push(
+                                        &mut ops,
+                                        &mut widths,
+                                        CompiledOp::Binary { op: *op, a: sa, b: sb },
+                                        width,
+                                    );
+                                    structural.insert(key, s);
+                                    Some(s)
+                                }
+                            }
+                        }
+                    }
+                }
+                Node::Mux { cond, then_, else_, .. } => {
+                    let (c, t, e) = (
+                        slot(*cond, &slot_of),
+                        slot(*then_, &slot_of),
+                        slot(*else_, &slot_of),
+                    );
+                    let alias = match &ops[c as usize] {
+                        CompiledOp::Const(cv) => Some(if cv.is_true() { t } else { e }),
+                        _ if t == e => Some(t),
+                        _ => None,
+                    };
+                    if let Some(s) = alias {
+                        folded_signals += 1;
+                        slot_of[id.index()] = Some(s);
+                        None
+                    } else {
+                        let key = OpKey::Mux(c, t, e);
+                        match structural.get(&key) {
+                            Some(&existing) => {
+                                hashed_signals += 1;
+                                slot_of[id.index()] = Some(existing);
+                                None
+                            }
+                            None => {
+                                let s = push(
+                                    &mut ops,
+                                    &mut widths,
+                                    CompiledOp::Mux { cond: c, then_: t, else_: e },
+                                    width,
+                                );
+                                structural.insert(key, s);
+                                Some(s)
+                            }
+                        }
+                    }
+                }
+                Node::Slice { a, hi, lo } => {
+                    let sa = slot(*a, &slot_of);
+                    if let CompiledOp::Const(av) = &ops[sa as usize] {
+                        folded_signals += 1;
+                        let folded = av.slice(*hi, *lo);
+                        slot_of[id.index()] =
+                            Some(intern_const(&mut ops, &mut widths, &mut structural, folded));
+                        None
+                    } else if *lo == 0 && *hi + 1 == widths[sa as usize] {
+                        // Full-width slice: the operand itself.
+                        folded_signals += 1;
+                        slot_of[id.index()] = Some(sa);
+                        None
+                    } else {
+                        let key = OpKey::Slice(sa, *hi, *lo);
+                        match structural.get(&key) {
+                            Some(&existing) => {
+                                hashed_signals += 1;
+                                slot_of[id.index()] = Some(existing);
+                                None
+                            }
+                            None => {
+                                let s = push(
+                                    &mut ops,
+                                    &mut widths,
+                                    CompiledOp::Slice { a: sa, hi: *hi, lo: *lo },
+                                    width,
+                                );
+                                structural.insert(key, s);
+                                Some(s)
+                            }
+                        }
+                    }
+                }
+                Node::Concat { hi, lo, .. } => {
+                    let (sh, sl) = (slot(*hi, &slot_of), slot(*lo, &slot_of));
+                    if let (CompiledOp::Const(hv), CompiledOp::Const(lv)) =
+                        (&ops[sh as usize], &ops[sl as usize])
+                    {
+                        folded_signals += 1;
+                        let folded = hv.concat(lv);
+                        slot_of[id.index()] =
+                            Some(intern_const(&mut ops, &mut widths, &mut structural, folded));
+                        None
+                    } else {
+                        let key = OpKey::Concat(sh, sl);
+                        match structural.get(&key) {
+                            Some(&existing) => {
+                                hashed_signals += 1;
+                                slot_of[id.index()] = Some(existing);
+                                None
+                            }
+                            None => {
+                                let s = push(
+                                    &mut ops,
+                                    &mut widths,
+                                    CompiledOp::Concat { hi: sh, lo: sl },
+                                    width,
+                                );
+                                structural.insert(key, s);
+                                Some(s)
+                            }
+                        }
+                    }
+                }
+            };
+            if let Some(s) = new_slot {
+                slot_of[id.index()] = Some(s);
+            }
+        }
+
+        let mut reg_next_slot = vec![None; netlist.register_count()];
+        let mut reg_init = vec![None; netlist.register_count()];
+        for (index, info) in netlist.registers().iter().enumerate() {
+            reg_init[index] = info.init;
+            if slot_of[info.signal.index()].is_some() {
+                // The cone closure pulled in the next-state expression of
+                // every in-cone register, so its slot exists.
+                reg_next_slot[index] = info.next.map(|n| {
+                    slot_of[n.index()].expect("next-state of an in-cone register is scheduled")
+                });
+            }
+        }
+
+        let stats = CompileStats {
+            netlist_signals: netlist.len(),
+            scheduled_slots: ops.len(),
+            pruned_signals,
+            hashed_signals,
+            folded_signals,
+            coi: coi.stats(),
+        };
+        Self {
+            ops,
+            widths,
+            slot_of,
+            reg_next_slot,
+            reg_init,
+            stats,
+        }
+    }
+
+    /// The scheduled operations, in dependency order.
+    pub fn ops(&self) -> &[CompiledOp] {
+        &self.ops
+    }
+
+    /// Number of slots in the schedule.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Result width of a slot.
+    pub fn width(&self, slot: u32) -> u32 {
+        self.widths[slot as usize]
+    }
+
+    /// The slot a netlist signal was compiled to, or `None` when the signal
+    /// was pruned by the cone-of-influence analysis.
+    pub fn slot_of(&self, signal: SignalId) -> Option<u32> {
+        self.slot_of[signal.index()]
+    }
+
+    /// Slot of a register's next-state expression.
+    pub fn next_slot(&self, register: RegisterId) -> Option<u32> {
+        self.reg_next_slot[register.index()]
+    }
+
+    /// Declared initial value of a register.
+    pub fn init_value(&self, register: RegisterId) -> Option<BitVec> {
+        self.reg_init[register.index()]
+    }
+
+    /// Compilation counters.
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+}
+
+enum FoldResult {
+    /// The node is a compile-time constant.
+    Value(BitVec),
+    /// The node is identical to an existing slot.
+    Alias(u32),
+}
+
+/// Identities for `op(x, x)`.
+fn fold_same_operand(op: BinaryOp, a: u32, width: u32) -> Option<FoldResult> {
+    match op {
+        BinaryOp::And | BinaryOp::Or => Some(FoldResult::Alias(a)),
+        BinaryOp::Xor | BinaryOp::Sub => Some(FoldResult::Value(BitVec::zero(width))),
+        BinaryOp::Eq | BinaryOp::Ule => Some(FoldResult::Value(BitVec::bit(true))),
+        BinaryOp::Ne | BinaryOp::Ult | BinaryOp::Slt => {
+            Some(FoldResult::Value(BitVec::bit(false)))
+        }
+        BinaryOp::Add | BinaryOp::Shl | BinaryOp::Shr => None,
+    }
+}
+
+/// Adds a constant to the schedule, reusing an existing equal constant slot.
+fn intern_const(
+    ops: &mut Vec<CompiledOp>,
+    widths: &mut Vec<u32>,
+    structural: &mut HashMap<OpKey, u32>,
+    value: BitVec,
+) -> u32 {
+    let key = OpKey::Const(value);
+    if let Some(&slot) = structural.get(&key) {
+        return slot;
+    }
+    let slot = u32::try_from(ops.len()).expect("schedule exceeds u32 slots");
+    ops.push(CompiledOp::Const(value));
+    widths.push(value.width());
+    structural.insert(key, slot);
+    slot
+}
+
+/// Word-level evaluation of a unary operator (the simulator's semantics).
+fn eval_unary(op: UnaryOp, a: &BitVec) -> BitVec {
+    match op {
+        UnaryOp::Not => a.not(),
+        UnaryOp::Neg => a.neg(),
+        UnaryOp::ReduceOr => a.reduce_or(),
+        UnaryOp::ReduceAnd => a.reduce_and(),
+        UnaryOp::ReduceXor => a.reduce_xor(),
+    }
+}
+
+/// Word-level evaluation of a binary operator (the simulator's semantics).
+fn eval_binary(op: BinaryOp, a: &BitVec, b: &BitVec) -> BitVec {
+    match op {
+        BinaryOp::And => a.and(b),
+        BinaryOp::Or => a.or(b),
+        BinaryOp::Xor => a.xor(b),
+        BinaryOp::Add => a.add(b),
+        BinaryOp::Sub => a.sub(b),
+        BinaryOp::Eq => a.eq_bit(b),
+        BinaryOp::Ne => a.eq_bit(b).not(),
+        BinaryOp::Ult => a.ult(b),
+        BinaryOp::Ule => a.ule(b),
+        BinaryOp::Slt => a.slt(b),
+        BinaryOp::Shl => a.shl(b.as_u64().min(u64::from(rtl::MAX_WIDTH)) as u32),
+        BinaryOp::Shr => a.shr(b.as_u64().min(u64::from(rtl::MAX_WIDTH)) as u32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coi_pruning_drops_dead_logic() {
+        let mut n = Netlist::new("dead");
+        let a = n.input("a", 8);
+        let b = n.input("b", 8);
+        let live = n.add(a, b);
+        let dead = n.sub(a, b); // never reaches the root
+        let _dead2 = n.xor(dead, b);
+        n.output("live", live);
+
+        let full = CompiledTransition::compile(&n);
+        let pruned = CompiledTransition::compile_with_roots(&n, &[live]);
+        assert!(pruned.len() < full.len());
+        assert!(pruned.slot_of(dead).is_none());
+        assert!(pruned.slot_of(live).is_some());
+        assert_eq!(pruned.stats().pruned_signals, 2);
+    }
+
+    #[test]
+    fn structural_hashing_merges_duplicate_subterms() {
+        let mut n = Netlist::new("dup");
+        let a = n.input("a", 8);
+        let b = n.input("b", 8);
+        let x = n.add(a, b);
+        let y = n.add(a, b);
+        let z = n.add(b, a); // commutative: same slot as x
+        n.output("x", x);
+        n.output("y", y);
+        n.output("z", z);
+        let ct = CompiledTransition::compile(&n);
+        assert_eq!(ct.slot_of(x), ct.slot_of(y));
+        assert_eq!(ct.slot_of(x), ct.slot_of(z));
+        assert_eq!(ct.stats().hashed_signals, 2);
+    }
+
+    #[test]
+    fn constant_folding_evaluates_closed_terms() {
+        let mut n = Netlist::new("fold");
+        let three = n.lit(3, 8);
+        let four = n.lit(4, 8);
+        let seven = n.add(three, four);
+        let a = n.input("a", 8);
+        let cond = n.eq(a, a); // folds to the constant 1
+        let same = n.mux(cond, seven, a); // constant select folds to 7
+        n.output("seven", seven);
+        n.output("same", same);
+        let ct = CompiledTransition::compile(&n);
+        let slot = ct.slot_of(seven).unwrap();
+        assert_eq!(ct.ops()[slot as usize], CompiledOp::Const(BitVec::new(7, 8)));
+        assert_eq!(ct.slot_of(same), ct.slot_of(seven));
+        assert!(ct.stats().folded_signals >= 3);
+    }
+
+    #[test]
+    fn register_feedback_is_scheduled() {
+        let mut n = Netlist::new("cnt");
+        let c = n.register_init("c", 4, BitVec::zero(4));
+        let one = n.lit(1, 4);
+        let next = n.add(c.value(), one);
+        n.set_next(c, next);
+        n.output("c", c.value());
+        let ct = CompiledTransition::compile_with_roots(&n, &[c.value()]);
+        let reg = match n.node(c.value()) {
+            Node::Register { register, .. } => *register,
+            _ => unreachable!(),
+        };
+        assert_eq!(ct.next_slot(reg), ct.slot_of(next));
+        assert_eq!(ct.init_value(reg), Some(BitVec::zero(4)));
+    }
+}

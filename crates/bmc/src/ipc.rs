@@ -181,6 +181,20 @@ impl IpcEngine {
         let max_frame = property.max_frame();
         unrolling.extend_to(max_frame);
 
+        // Materialize every register and input in every frame: IPC outcomes
+        // are consumed by humans, and a counterexample trace with holes is
+        // not worth the CNF the lazy strategy would save on these small
+        // netlists. (Structural hashing and constant folding still apply;
+        // the UPEC sessions in the `upec` crate keep the full lazy pruning.)
+        for frame in 0..=max_frame {
+            for info in netlist.registers() {
+                let _ = unrolling.lits(frame, info.signal);
+            }
+            for &input in netlist.inputs() {
+                let _ = unrolling.lits(frame, input);
+            }
+        }
+
         // Assumptions are hard constraints.
         for term in &property.assumptions {
             for frame in term.when.frames(max_frame) {
@@ -241,26 +255,30 @@ pub(crate) fn extract_counterexample(
     max_frame: usize,
     failed_obligations: Vec<String>,
 ) -> Counterexample {
+    // Signals outside the property cone are never encoded by the lazy
+    // compiled strategy — the model genuinely carries no value for them, so
+    // they are omitted from the trace rather than reported with a made-up
+    // value.
     let mut frames = Vec::with_capacity(max_frame + 1);
     for frame in 0..=max_frame {
         let registers = netlist
             .registers()
             .iter()
-            .map(|r| {
-                let v = unrolling
+            .filter_map(|r| {
+                unrolling
                     .value_in_model(model, frame, r.signal)
-                    .expect("frame was built");
-                (r.name.clone(), v)
+                    .ok()
+                    .map(|v| (r.name.clone(), v))
             })
             .collect();
         let inputs = netlist
             .inputs()
             .iter()
-            .map(|&i| {
-                let v = unrolling
+            .filter_map(|&i| {
+                unrolling
                     .value_in_model(model, frame, i)
-                    .expect("frame was built");
-                (netlist.signal_name(i), v)
+                    .ok()
+                    .map(|v| (netlist.signal_name(i), v))
             })
             .collect();
         frames.push(CexFrame { registers, inputs });

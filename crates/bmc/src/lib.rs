@@ -45,14 +45,16 @@
 
 #![warn(missing_docs)]
 
+mod compile;
 mod gates;
 mod induction;
 mod ipc;
 mod property;
 mod unroll;
 
+pub use compile::{CompileStats, CompiledOp, CompiledTransition};
 pub use gates::GateBuilder;
 pub use induction::{InductionOutcome, InductionProver};
 pub use ipc::{CexFrame, Counterexample, IpcEngine, IpcOutcome, IpcStats};
 pub use property::{IntervalProperty, PropertyTerm, When};
-pub use unroll::{UnrollError, UnrollOptions, Unrolling};
+pub use unroll::{EncodeStats, UnrollError, UnrollOptions, Unrolling};

@@ -1,8 +1,23 @@
 //! Transition-relation unrolling with word-level bit-blasting.
+//!
+//! Since PR 3 the unrolling has two encoding strategies:
+//!
+//! * **Compiled** (the default): the netlist is first run through the
+//!   [`CompiledTransition`] compiler — cone-of-influence pruning, structural
+//!   hashing, constant folding — and each frame instantiates the resulting
+//!   dense schedule *lazily*: a slot is only Tseitin-encoded in a frame when
+//!   a constraint, obligation or extraction actually reaches it. The final
+//!   frame of a bounded proof therefore never pays for next-state logic, and
+//!   logic outside the property cone is never encoded at all.
+//! * **Eager** ([`UnrollOptions::eager`]): the original seed behavior — every
+//!   netlist signal is encoded in every frame. Kept as the baseline for the
+//!   `compile_stats` benchmark and for differential testing.
 
-use crate::GateBuilder;
+use crate::{CompileStats, CompiledOp, CompiledTransition, GateBuilder};
 use rtl::{BinaryOp, BitVec, Netlist, Node, SignalId, UnaryOp};
 use sat::{Lit, Model, SatResult};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Options controlling how a netlist is unrolled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +30,10 @@ pub struct UnrollOptions {
     /// Optional conflict budget handed to the SAT solver; `None` means solve
     /// to completion.
     pub conflict_limit: Option<u64>,
+    /// When `true`, bypass the transition-relation compiler and encode every
+    /// netlist signal in every frame (the pre-compiler baseline). Used by
+    /// benchmarks and differential tests; real proofs keep this `false`.
+    pub eager_encoding: bool,
 }
 
 impl Default for UnrollOptions {
@@ -22,6 +41,7 @@ impl Default for UnrollOptions {
         Self {
             use_initial_values: false,
             conflict_limit: None,
+            eager_encoding: false,
         }
     }
 }
@@ -36,7 +56,7 @@ impl UnrollOptions {
     pub fn from_reset_state() -> Self {
         Self {
             use_initial_values: true,
-            conflict_limit: None,
+            ..Self::default()
         }
     }
 
@@ -45,6 +65,29 @@ impl UnrollOptions {
         self.conflict_limit = limit;
         self
     }
+
+    /// Disables the transition-relation compiler (baseline encoding).
+    pub fn eager(mut self) -> Self {
+        self.eager_encoding = true;
+        self
+    }
+}
+
+/// Aggregate description of what an unrolling has encoded so far.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeStats {
+    /// `"compiled"` or `"eager"`.
+    pub strategy: &'static str,
+    /// Slots in the compiled schedule (netlist signals for eager mode).
+    pub scheduled_slots: usize,
+    /// Slot instances actually Tseitin-encoded, summed over all frames.
+    pub encoded_slots: usize,
+    /// CNF variables allocated.
+    pub variables: usize,
+    /// CNF problem clauses added.
+    pub clauses: usize,
+    /// Compiler counters (`None` in eager mode).
+    pub compile: Option<CompileStats>,
 }
 
 /// A netlist unrolled over `k+1` time frames and bit-blasted into CNF.
@@ -80,12 +123,24 @@ pub struct Unrolling<'n> {
     netlist: &'n Netlist,
     gates: GateBuilder,
     options: UnrollOptions,
-    /// `frames[t][signal]` = literals of the signal in frame `t`, LSB first.
-    frames: Vec<Vec<Vec<Lit>>>,
+    backend: Backend,
     /// Registers whose frame-0 value shares the literals of another register
     /// (used by miter-style proofs to state "these start equal" structurally
-    /// instead of through equality clauses).
-    frame0_aliases: std::collections::HashMap<usize, SignalId>,
+    /// instead of through equality clauses). Keyed by signal index.
+    frame0_aliases: HashMap<usize, SignalId>,
+    /// Total slot instances encoded across all frames.
+    encoded_slots: usize,
+}
+
+#[derive(Debug)]
+enum Backend {
+    /// Every signal encoded in every frame: `frames[t][signal]` = literals.
+    Eager { frames: Vec<Vec<Vec<Lit>>> },
+    /// Compiled schedule, lazily instantiated: `frames[t][slot]`.
+    Compiled {
+        transition: Arc<CompiledTransition>,
+        frames: Vec<Vec<Option<Vec<Lit>>>>,
+    },
 }
 
 /// Error returned when a constraint refers to a signal of the wrong shape.
@@ -112,6 +167,20 @@ pub enum UnrollError {
         /// Number of frames built.
         built: usize,
     },
+    /// The signal was pruned from the compiled schedule (outside the cone of
+    /// influence of the declared roots).
+    NotInSchedule {
+        /// The pruned signal.
+        signal: SignalId,
+    },
+    /// The signal is scheduled but was never reached by any query in this
+    /// frame, so it has no literals (and no value in a model).
+    NotEncoded {
+        /// The signal.
+        signal: SignalId,
+        /// The frame.
+        frame: usize,
+    },
 }
 
 impl std::fmt::Display for UnrollError {
@@ -125,6 +194,12 @@ impl std::fmt::Display for UnrollError {
             }
             UnrollError::FrameOutOfRange { frame, built } => {
                 write!(f, "frame {frame} not built yet (only {built} frames exist)")
+            }
+            UnrollError::NotInSchedule { signal } => {
+                write!(f, "signal {signal} was pruned from the compiled schedule")
+            }
+            UnrollError::NotEncoded { signal, frame } => {
+                write!(f, "signal {signal} was never encoded in frame {frame}")
             }
         }
     }
@@ -152,6 +227,11 @@ impl<'n> Unrolling<'n> {
     /// not yet diverged. The UPEC checks use it for the `micro_soc_state1 =
     /// micro_soc_state2` assumption of the paper's Fig. 4.
     ///
+    /// In the default (compiled) mode this constructor compiles the full
+    /// netlist on the spot. Flows that open many unrollings of the same
+    /// design should compile once and share the schedule through
+    /// [`Unrolling::with_compiled`].
+    ///
     /// # Panics
     ///
     /// Panics if the netlist is invalid or an alias pair has mismatched
@@ -161,10 +241,45 @@ impl<'n> Unrolling<'n> {
         options: UnrollOptions,
         aliases: &[(SignalId, SignalId)],
     ) -> Self {
+        let transition = if options.eager_encoding {
+            None
+        } else {
+            Some(Arc::new(CompiledTransition::compile(netlist)))
+        };
+        Self::build(netlist, transition, options, aliases)
+    }
+
+    /// Creates an unrolling over a pre-compiled transition relation
+    /// (compile once, clone per frame — and per session).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is invalid, an alias pair is malformed, or
+    /// `options.eager_encoding` is set (a compiled schedule cannot drive the
+    /// eager baseline).
+    pub fn with_compiled(
+        netlist: &'n Netlist,
+        transition: Arc<CompiledTransition>,
+        options: UnrollOptions,
+        aliases: &[(SignalId, SignalId)],
+    ) -> Self {
+        assert!(
+            !options.eager_encoding,
+            "eager encoding ignores the compiled schedule"
+        );
+        Self::build(netlist, Some(transition), options, aliases)
+    }
+
+    fn build(
+        netlist: &'n Netlist,
+        transition: Option<Arc<CompiledTransition>>,
+        options: UnrollOptions,
+        aliases: &[(SignalId, SignalId)],
+    ) -> Self {
         netlist
             .validate()
             .expect("netlist must be valid before unrolling");
-        let mut frame0_aliases = std::collections::HashMap::new();
+        let mut frame0_aliases = HashMap::new();
         for &(register, source) in aliases {
             assert!(
                 netlist.node(register).is_register() && netlist.node(source).is_register(),
@@ -185,14 +300,22 @@ impl<'n> Unrolling<'n> {
         if let Some(limit) = options.conflict_limit {
             gates.solver_mut().set_conflict_limit(Some(limit));
         }
+        let backend = match transition {
+            Some(transition) => Backend::Compiled {
+                transition,
+                frames: Vec::new(),
+            },
+            None => Backend::Eager { frames: Vec::new() },
+        };
         let mut unrolling = Self {
             netlist,
             gates,
             options,
-            frames: Vec::new(),
+            backend,
             frame0_aliases,
+            encoded_slots: 0,
         };
-        unrolling.build_frame();
+        unrolling.extend_to(0);
         unrolling
     }
 
@@ -203,7 +326,10 @@ impl<'n> Unrolling<'n> {
 
     /// Number of frames built so far (at least 1).
     pub fn frame_count(&self) -> usize {
-        self.frames.len()
+        match &self.backend {
+            Backend::Eager { frames } => frames.len(),
+            Backend::Compiled { frames, .. } => frames.len(),
+        }
     }
 
     /// Number of CNF variables allocated so far.
@@ -216,34 +342,104 @@ impl<'n> Unrolling<'n> {
         self.gates.solver().num_clauses()
     }
 
-    /// Ensures frames `0..=k` exist.
-    pub fn extend_to(&mut self, k: usize) {
-        while self.frames.len() <= k {
-            self.build_frame();
+    /// What has been encoded so far, and by which strategy.
+    pub fn encode_stats(&self) -> EncodeStats {
+        let (strategy, scheduled_slots, compile) = match &self.backend {
+            Backend::Eager { .. } => ("eager", self.netlist.len(), None),
+            Backend::Compiled { transition, .. } => {
+                ("compiled", transition.len(), Some(transition.stats()))
+            }
+        };
+        EncodeStats {
+            strategy,
+            scheduled_slots,
+            encoded_slots: self.encoded_slots,
+            variables: self.num_vars(),
+            clauses: self.num_clauses(),
+            compile,
         }
     }
 
-    fn build_frame(&mut self) {
-        let t = self.frames.len();
+    /// The compiled transition relation driving this unrolling, if any.
+    pub fn compiled(&self) -> Option<&Arc<CompiledTransition>> {
+        match &self.backend {
+            Backend::Compiled { transition, .. } => Some(transition),
+            Backend::Eager { .. } => None,
+        }
+    }
+
+    /// Ensures frames `0..=k` exist.
+    ///
+    /// Frames are fed into one *persistent* solver: extending an unrolling
+    /// that has already been solved at a shallower bound only bit-blasts the
+    /// new frames and appends their clauses — the solver keeps its
+    /// learned-clause database, variable activities and saved phases from the
+    /// earlier bounds, which is what makes walking a property up through
+    /// bounds `1..=k` much cheaper than `k` independent solves. The
+    /// incremental UPEC engine in the `upec` crate relies on exactly this
+    /// contract.
+    ///
+    /// In compiled mode a new frame is merely *declared* here; its slots are
+    /// bit-blasted on demand when queries reach them.
+    ///
+    /// ```
+    /// use rtl::{Netlist, BitVec};
+    /// use bmc::{Unrolling, UnrollOptions};
+    ///
+    /// let mut n = Netlist::new("counter");
+    /// let c = n.register_init("c", 8, BitVec::zero(8));
+    /// let one = n.lit(1, 8);
+    /// let next = n.add(c.value(), one);
+    /// n.set_next(c, next);
+    /// n.output("c", c.value());
+    ///
+    /// let mut u = Unrolling::new(&n, UnrollOptions::from_reset_state());
+    /// for k in 1..=4 {
+    ///     u.extend_to(k); // appends only the new frame each iteration
+    ///     let act = u.fresh_lit();
+    ///     let wrong = u.lits(k, c.value()).unwrap()[0]; // LSB of k is k % 2
+    ///     let expected_lsb = k % 2 == 1;
+    ///     let obligation = if expected_lsb { !wrong } else { wrong };
+    ///     u.add_clause_activated(act, [obligation]);
+    ///     assert!(u.solve(&[act]).is_unsat(), "counter LSB is determined");
+    ///     u.retire_activation(act);
+    /// }
+    /// ```
+    pub fn extend_to(&mut self, k: usize) {
+        match &mut self.backend {
+            Backend::Eager { .. } => {
+                while self.frame_count() <= k {
+                    self.build_eager_frame();
+                }
+            }
+            Backend::Compiled { transition, frames } => {
+                let slots = transition.len();
+                while frames.len() <= k {
+                    frames.push(vec![None; slots]);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Eager encoding (the pre-compiler baseline)
+    // ------------------------------------------------------------------
+
+    fn build_eager_frame(&mut self) {
+        let t = self.frame_count();
         let mut frame: Vec<Vec<Lit>> = Vec::with_capacity(self.netlist.len());
         for id in self.netlist.signals() {
-            let lits = self.encode_node(t, id, &frame);
+            let lits = self.encode_netlist_node(t, id, &frame);
             frame.push(lits);
         }
-        self.frames.push(frame);
+        self.encoded_slots += frame.len();
+        match &mut self.backend {
+            Backend::Eager { frames } => frames.push(frame),
+            Backend::Compiled { .. } => unreachable!("eager frame on compiled backend"),
+        }
     }
 
-    fn fresh_word(&mut self, width: u32) -> Vec<Lit> {
-        (0..width).map(|_| self.gates.fresh()).collect()
-    }
-
-    fn const_word(&mut self, value: BitVec) -> Vec<Lit> {
-        (0..value.width())
-            .map(|i| self.gates.constant(value.get_bit(i)))
-            .collect()
-    }
-
-    fn encode_node(&mut self, t: usize, id: SignalId, frame: &[Vec<Lit>]) -> Vec<Lit> {
+    fn encode_netlist_node(&mut self, t: usize, id: SignalId, frame: &[Vec<Lit>]) -> Vec<Lit> {
         match self.netlist.node(id) {
             Node::Input { width, .. } => self.fresh_word(*width),
             Node::Const(v) => self.const_word(*v),
@@ -263,7 +459,10 @@ impl<'n> Unrolling<'n> {
                     let next = info
                         .next
                         .expect("validated netlists give every register a next-state");
-                    self.frames[t - 1][next.index()].clone()
+                    match &self.backend {
+                        Backend::Eager { frames } => frames[t - 1][next.index()].clone(),
+                        Backend::Compiled { .. } => unreachable!(),
+                    }
                 }
             }
             Node::Unary { op, a, .. } => {
@@ -297,6 +496,164 @@ impl<'n> Unrolling<'n> {
                 lits
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Compiled, lazy encoding
+    // ------------------------------------------------------------------
+
+    /// Makes sure `slot` has literals in `frame`, bit-blasting it and its
+    /// not-yet-encoded transitive support first (iteratively; the support
+    /// spans earlier frames through register feedback).
+    fn ensure_slot(&mut self, frame: usize, slot: u32) {
+        let mut stack: Vec<(usize, u32)> = vec![(frame, slot)];
+        while let Some(&(f, s)) = stack.last() {
+            if self.slot_lits(f, s).is_some() {
+                stack.pop();
+                continue;
+            }
+            let deps = self.slot_deps(f, s);
+            let mut all_ready = true;
+            for &(df, ds) in &deps {
+                if self.slot_lits(df, ds).is_none() {
+                    all_ready = false;
+                    stack.push((df, ds));
+                }
+            }
+            if all_ready {
+                let lits = self.encode_slot(f, s);
+                match &mut self.backend {
+                    Backend::Compiled { frames, .. } => frames[f][s as usize] = Some(lits),
+                    Backend::Eager { .. } => unreachable!(),
+                }
+                self.encoded_slots += 1;
+                stack.pop();
+            }
+        }
+    }
+
+    fn slot_lits(&self, frame: usize, slot: u32) -> Option<&[Lit]> {
+        match &self.backend {
+            Backend::Compiled { frames, .. } => {
+                frames[frame][slot as usize].as_deref()
+            }
+            Backend::Eager { .. } => unreachable!("slot access on eager backend"),
+        }
+    }
+
+    /// The `(frame, slot)` pairs that must be encoded before this one.
+    fn slot_deps(&self, frame: usize, slot: u32) -> Vec<(usize, u32)> {
+        let transition = match &self.backend {
+            Backend::Compiled { transition, .. } => transition,
+            Backend::Eager { .. } => unreachable!(),
+        };
+        match &transition.ops()[slot as usize] {
+            CompiledOp::Input { .. } | CompiledOp::Const(_) => Vec::new(),
+            CompiledOp::Register { register, .. } => {
+                if frame == 0 {
+                    let info = &self.netlist.registers()[register.index()];
+                    match self.frame0_aliases.get(&info.signal.index()) {
+                        Some(&source) => {
+                            let source_slot = transition
+                                .slot_of(source)
+                                .expect("alias sources are register values inside the schedule");
+                            vec![(0, source_slot)]
+                        }
+                        None => Vec::new(),
+                    }
+                } else {
+                    let next = transition
+                        .next_slot(*register)
+                        .expect("in-cone registers have scheduled next-states");
+                    vec![(frame - 1, next)]
+                }
+            }
+            CompiledOp::Unary { a, .. } | CompiledOp::Slice { a, .. } => vec![(frame, *a)],
+            CompiledOp::Binary { a, b, .. } => vec![(frame, *a), (frame, *b)],
+            CompiledOp::Concat { hi, lo } => vec![(frame, *hi), (frame, *lo)],
+            CompiledOp::Mux { cond, then_, else_ } => {
+                vec![(frame, *cond), (frame, *then_), (frame, *else_)]
+            }
+        }
+    }
+
+    /// Bit-blasts one slot whose dependencies are already encoded.
+    fn encode_slot(&mut self, frame: usize, slot: u32) -> Vec<Lit> {
+        let transition = match &self.backend {
+            Backend::Compiled { transition, .. } => Arc::clone(transition),
+            Backend::Eager { .. } => unreachable!(),
+        };
+        let word = |me: &Self, f: usize, s: u32| -> Vec<Lit> {
+            me.slot_lits(f, s)
+                .expect("dependency encoded before use")
+                .to_vec()
+        };
+        match &transition.ops()[slot as usize] {
+            CompiledOp::Input { width } => self.fresh_word(*width),
+            CompiledOp::Const(v) => self.const_word(*v),
+            CompiledOp::Register { register, width } => {
+                if frame == 0 {
+                    let info = &self.netlist.registers()[register.index()];
+                    if let Some(&source) = self.frame0_aliases.get(&info.signal.index()) {
+                        let source_slot = transition
+                            .slot_of(source)
+                            .expect("alias source scheduled");
+                        return word(self, 0, source_slot);
+                    }
+                    match (self.options.use_initial_values, transition.init_value(*register)) {
+                        (true, Some(init)) => self.const_word(init),
+                        _ => self.fresh_word(*width),
+                    }
+                } else {
+                    let next = transition
+                        .next_slot(*register)
+                        .expect("in-cone registers have scheduled next-states");
+                    word(self, frame - 1, next)
+                }
+            }
+            CompiledOp::Unary { op, a } => {
+                let a = word(self, frame, *a);
+                self.encode_unary(*op, &a)
+            }
+            CompiledOp::Binary { op, a, b } => {
+                let a_lits = word(self, frame, *a);
+                let b_lits = word(self, frame, *b);
+                self.encode_binary(*op, &a_lits, &b_lits)
+            }
+            CompiledOp::Mux { cond, then_, else_ } => {
+                let c = word(self, frame, *cond)[0];
+                let t_lits = word(self, frame, *then_);
+                let e_lits = word(self, frame, *else_);
+                t_lits
+                    .iter()
+                    .zip(&e_lits)
+                    .map(|(&tl, &el)| self.gates.mux(c, tl, el))
+                    .collect()
+            }
+            CompiledOp::Slice { a, hi, lo } => {
+                let a = word(self, frame, *a);
+                a[*lo as usize..=*hi as usize].to_vec()
+            }
+            CompiledOp::Concat { hi, lo } => {
+                let mut lits = word(self, frame, *lo);
+                lits.extend_from_slice(&word(self, frame, *hi));
+                lits
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared bit-level encoders
+    // ------------------------------------------------------------------
+
+    fn fresh_word(&mut self, width: u32) -> Vec<Lit> {
+        (0..width).map(|_| self.gates.fresh()).collect()
+    }
+
+    fn const_word(&mut self, value: BitVec) -> Vec<Lit> {
+        (0..value.width())
+            .map(|i| self.gates.constant(value.get_bit(i)))
+            .collect()
     }
 
     fn encode_unary(&mut self, op: UnaryOp, a: &[Lit]) -> Vec<Lit> {
@@ -447,24 +804,56 @@ impl<'n> Unrolling<'n> {
     // ------------------------------------------------------------------
 
     fn check_frame(&self, frame: usize) -> Result<(), UnrollError> {
-        if frame >= self.frames.len() {
+        if frame >= self.frame_count() {
             Err(UnrollError::FrameOutOfRange {
                 frame,
-                built: self.frames.len(),
+                built: self.frame_count(),
             })
         } else {
             Ok(())
         }
     }
 
-    /// Literals of a signal in a frame (LSB first).
+    /// Literals of a signal in a frame (LSB first), bit-blasting the signal's
+    /// transitive support on first access in compiled mode.
     ///
     /// # Errors
     ///
-    /// Returns [`UnrollError::FrameOutOfRange`] if the frame is not built.
-    pub fn lits(&self, frame: usize, signal: SignalId) -> Result<&[Lit], UnrollError> {
+    /// Returns [`UnrollError::FrameOutOfRange`] if the frame is not built, or
+    /// [`UnrollError::NotInSchedule`] if the signal was pruned by a rooted
+    /// compilation.
+    pub fn lits(&mut self, frame: usize, signal: SignalId) -> Result<Vec<Lit>, UnrollError> {
         self.check_frame(frame)?;
-        Ok(&self.frames[frame][signal.index()])
+        match &self.backend {
+            Backend::Eager { frames } => Ok(frames[frame][signal.index()].clone()),
+            Backend::Compiled { transition, .. } => {
+                let slot = transition
+                    .slot_of(signal)
+                    .ok_or(UnrollError::NotInSchedule { signal })?;
+                self.ensure_slot(frame, slot);
+                Ok(self
+                    .slot_lits(frame, slot)
+                    .expect("just encoded")
+                    .to_vec())
+            }
+        }
+    }
+
+    /// Literals of a signal in a frame, **without** encoding anything:
+    /// read-only companion of [`Unrolling::lits`] for use after a solve.
+    fn peek_lits(&self, frame: usize, signal: SignalId) -> Result<Vec<Lit>, UnrollError> {
+        self.check_frame(frame)?;
+        match &self.backend {
+            Backend::Eager { frames } => Ok(frames[frame][signal.index()].clone()),
+            Backend::Compiled { transition, frames } => {
+                let slot = transition
+                    .slot_of(signal)
+                    .ok_or(UnrollError::NotInSchedule { signal })?;
+                frames[frame][slot as usize]
+                    .clone()
+                    .ok_or(UnrollError::NotEncoded { signal, frame })
+            }
+        }
     }
 
     /// Literal of a single-bit signal in a frame.
@@ -473,7 +862,7 @@ impl<'n> Unrolling<'n> {
     ///
     /// Returns an error if the signal is wider than one bit or the frame is
     /// not built.
-    pub fn bit_lit(&self, frame: usize, signal: SignalId) -> Result<Lit, UnrollError> {
+    pub fn bit_lit(&mut self, frame: usize, signal: SignalId) -> Result<Lit, UnrollError> {
         let lits = self.lits(frame, signal)?;
         if lits.len() != 1 {
             return Err(UnrollError::NotABit {
@@ -520,9 +909,8 @@ impl<'n> Unrolling<'n> {
         a: SignalId,
         b: SignalId,
     ) -> Result<(), UnrollError> {
-        self.check_frame(frame)?;
-        let a_lits = self.frames[frame][a.index()].clone();
-        let b_lits = self.frames[frame][b.index()].clone();
+        let a_lits = self.lits(frame, a)?;
+        let b_lits = self.lits(frame, b)?;
         if a_lits.len() != b_lits.len() {
             return Err(UnrollError::WidthMismatch {
                 left: a_lits.len() as u32,
@@ -546,8 +934,7 @@ impl<'n> Unrolling<'n> {
         signal: SignalId,
         value: u64,
     ) -> Result<(), UnrollError> {
-        self.check_frame(frame)?;
-        let lits = self.frames[frame][signal.index()].clone();
+        let lits = self.lits(frame, signal)?;
         let value = BitVec::new(value, lits.len() as u32);
         for (i, lit) in lits.into_iter().enumerate() {
             if value.get_bit(i as u32) {
@@ -571,9 +958,8 @@ impl<'n> Unrolling<'n> {
         a: SignalId,
         b: SignalId,
     ) -> Result<Lit, UnrollError> {
-        self.check_frame(frame)?;
-        let a_lits = self.frames[frame][a.index()].clone();
-        let b_lits = self.frames[frame][b.index()].clone();
+        let a_lits = self.lits(frame, a)?;
+        let b_lits = self.lits(frame, b)?;
         if a_lits.len() != b_lits.len() {
             return Err(UnrollError::WidthMismatch {
                 left: a_lits.len() as u32,
@@ -602,6 +988,33 @@ impl<'n> Unrolling<'n> {
         self.gates.fresh()
     }
 
+    /// Adds a clause guarded by an activation literal: the clause only bites
+    /// while `activation` is assumed in [`Unrolling::solve`]. This is how an
+    /// incremental session poses a *retractable* proof obligation — the
+    /// counterpart of [`Unrolling::retire_activation`].
+    pub fn add_clause_activated<I>(&mut self, activation: Lit, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let clause: Vec<Lit> = std::iter::once(!activation).chain(lits).collect();
+        self.gates.add_clause(clause);
+    }
+
+    /// Permanently disables every clause guarded by `activation` (adds the
+    /// unit clause `!activation`). After retiring, the activation literal
+    /// must not be assumed again.
+    pub fn retire_activation(&mut self, activation: Lit) {
+        self.gates.add_clause([!activation]);
+    }
+
+    /// Installs (or removes) a shared interrupt flag on the underlying
+    /// solver; raising the flag from another thread makes an in-flight
+    /// [`Unrolling::solve`] return [`SatResult::Unknown`]. See
+    /// [`sat::Solver::set_interrupt`].
+    pub fn set_interrupt(&mut self, flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) {
+        self.gates.solver_mut().set_interrupt(flag);
+    }
+
     /// Runs the SAT solver under the given assumption literals.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
         self.gates.solver_mut().solve_with_assumptions(assumptions)
@@ -616,15 +1029,17 @@ impl<'n> Unrolling<'n> {
     ///
     /// # Errors
     ///
-    /// Returns an error if the frame is not built.
+    /// Returns an error if the frame is not built, or — in compiled mode —
+    /// [`UnrollError::NotEncoded`]/[`UnrollError::NotInSchedule`] when the
+    /// signal never got literals (it was irrelevant to every query, so the
+    /// model genuinely carries no value for it).
     pub fn value_in_model(
         &self,
         model: &Model,
         frame: usize,
         signal: SignalId,
     ) -> Result<BitVec, UnrollError> {
-        self.check_frame(frame)?;
-        let lits = &self.frames[frame][signal.index()];
+        let lits = self.peek_lits(frame, signal)?;
         let mut v = BitVec::zero(lits.len() as u32);
         for (i, &lit) in lits.iter().enumerate() {
             v = v.with_bit(i as u32, model.lit_is_true(lit));
@@ -636,11 +1051,11 @@ impl<'n> Unrolling<'n> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use rtl::SplitMix64;
 
     /// Builds a small combinational netlist exercising every operator, then
     /// cross-checks the bit-blasted encoding against the word-level
-    /// simulator semantics for random inputs.
+    /// simulator semantics for random inputs — in both encoding modes.
     #[test]
     fn bitblasting_matches_word_level_semantics() {
         let width = 6u32;
@@ -674,11 +1089,11 @@ mod tests {
         let mut ops = ops;
         ops.push(("mux", mux));
 
-        let mut rng = StdRng::seed_from_u64(7);
-        for _ in 0..12 {
-            let av = rng.gen_range(0..(1u64 << width));
-            let bv = rng.gen_range(0..(1u64 << width));
-            let sh = rng.gen_range(0..8u64);
+        let mut rng = SplitMix64::new(7);
+        for trial in 0..12 {
+            let av = rng.gen_u64_below(1u64 << width);
+            let bv = rng.gen_u64_below(1u64 << width);
+            let sh = rng.gen_u64_below(8);
 
             // Reference: evaluate through the word-level BitVec semantics.
             let abv = BitVec::new(av, width);
@@ -719,10 +1134,22 @@ mod tests {
                 })
                 .collect();
 
-            let mut u = Unrolling::new(&n, UnrollOptions::default());
+            // Alternate between the compiled and the eager strategy so both
+            // encoders stay pinned to the same word-level semantics.
+            let options = if trial % 2 == 0 {
+                UnrollOptions::default()
+            } else {
+                UnrollOptions::default().eager()
+            };
+            let mut u = Unrolling::new(&n, options);
             u.assume_signal_equals_const(0, a, av).unwrap();
             u.assume_signal_equals_const(0, b, bv).unwrap();
             u.assume_signal_equals_const(0, shift_amount, sh).unwrap();
+            // Materialize every observed operator before solving (the lazy
+            // compiled mode only encodes what queries touch).
+            for (_, signal) in &ops {
+                u.lits(0, *signal).unwrap();
+            }
             let result = u.solve(&[]);
             let model = result.model().expect("combinational cone is satisfiable");
             for ((name, signal), (ename, evalue)) in ops.iter().zip(&expected) {
@@ -825,5 +1252,96 @@ mod tests {
         u.extend_to(2);
         u.assume_signal_equals_const(2, c.value(), 2).unwrap();
         assert!(u.solve(&[]).is_sat());
+    }
+
+    /// A design with provably dead logic: compiled encoding must produce a
+    /// strictly smaller CNF than the eager baseline while agreeing on the
+    /// verdict — the fast "CNF-size snapshot" acceptance check.
+    #[test]
+    fn compiled_cnf_is_a_strict_subset_of_eager() {
+        let mut n = Netlist::new("partly_dead");
+        let a = n.input("a", 8);
+        let b = n.input("b", 8);
+        let live = n.register("live", 8);
+        let dead = n.register("dead", 8);
+        let live_next = n.add(live.value(), a);
+        let dead_next = {
+            let sel = n.bit(b, 0);
+            let m = n.mux(sel, dead.value(), b);
+            n.sub(m, a)
+        };
+        n.set_next(live, live_next);
+        n.set_next(dead, dead_next);
+        // Duplicated subterm: encoded once by the compiler.
+        let cmp1 = n.ult(live.value(), b);
+        let cmp2 = n.ult(live.value(), b);
+        n.output("cmp1", cmp1);
+        n.output("cmp2", cmp2);
+
+        let run = |options: UnrollOptions| -> (usize, usize, bool) {
+            let mut u = Unrolling::new(&n, options);
+            u.extend_to(2);
+            u.assume_signal_true(2, cmp1).unwrap();
+            u.assume_signal_true(2, cmp2).unwrap();
+            let sat = u.solve(&[]).is_sat();
+            (u.num_vars(), u.num_clauses(), sat)
+        };
+        let (eager_vars, eager_clauses, eager_sat) = run(UnrollOptions::default().eager());
+        let (lazy_vars, lazy_clauses, lazy_sat) = run(UnrollOptions::default());
+        assert_eq!(eager_sat, lazy_sat, "strategies must agree on the verdict");
+        assert!(
+            lazy_vars < eager_vars && lazy_clauses < eager_clauses,
+            "compiled encoding must be strictly smaller: {lazy_vars}/{lazy_clauses} \
+             vs eager {eager_vars}/{eager_clauses}"
+        );
+        // The dead register's cone is never encoded by the compiled path.
+        let mut u = Unrolling::new(&n, UnrollOptions::default());
+        u.extend_to(1);
+        u.assume_signal_true(1, cmp1).unwrap();
+        let stats = u.encode_stats();
+        assert_eq!(stats.strategy, "compiled");
+        assert!(stats.encoded_slots < 2 * stats.scheduled_slots);
+    }
+
+    /// The final frame of a compiled unrolling never encodes next-state
+    /// logic (no deeper frame consumes it) — the "per frame" half of the
+    /// cone-of-influence pruning.
+    #[test]
+    fn final_frame_skips_next_state_logic() {
+        let (n, c) = counter_netlist();
+        let mut eager = Unrolling::new(&n, UnrollOptions::default().eager());
+        eager.extend_to(1);
+        eager.assume_signal_equals_const(1, c.value(), 3).unwrap();
+        let mut lazy = Unrolling::new(&n, UnrollOptions::default());
+        lazy.extend_to(1);
+        lazy.assume_signal_equals_const(1, c.value(), 3).unwrap();
+        // Eager pays for the adder in both frames; lazy only in frame 0.
+        assert!(lazy.num_vars() < eager.num_vars());
+        assert!(lazy.encode_stats().encoded_slots < 2 * lazy.encode_stats().scheduled_slots);
+    }
+
+    /// Frame-0 register aliases work identically through the compiled path.
+    #[test]
+    fn compiled_frame0_aliases_share_literals() {
+        let mut n = Netlist::new("aliased");
+        let r1 = n.register("r1", 4);
+        let r2 = n.register("r2", 4);
+        let one = n.lit(1, 4);
+        let n1 = n.add(r1.value(), one);
+        let n2 = n.add(r2.value(), one);
+        n.set_next(r1, n1);
+        n.set_next(r2, n2);
+        let differ = n.ne(r1.value(), r2.value());
+        n.output("differ", differ);
+
+        for options in [UnrollOptions::default(), UnrollOptions::default().eager()] {
+            let mut u =
+                Unrolling::with_frame0_aliases(&n, options, &[(r2.value(), r1.value())]);
+            u.extend_to(1);
+            // Registers start structurally equal and step identically, so
+            // they can never differ at frame 1.
+            u.assume_signal_true(1, differ).unwrap();
+            assert!(u.solve(&[]).is_unsat());
+        }
     }
 }

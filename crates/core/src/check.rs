@@ -1,12 +1,10 @@
 //! Checking the UPEC property on a bounded model and classifying
 //! counterexamples into P-alerts and L-alerts (paper Defs. 6 and 7).
 
-use crate::{RegisterPair, StateClass, UpecModel};
-use bmc::{UnrollOptions, Unrolling};
+use crate::{StateClass, UpecModel};
 use rtl::BitVec;
-use sat::SatResult;
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Options for a single UPEC property check.
 #[derive(Debug, Clone, Copy)]
@@ -20,6 +18,9 @@ pub struct UpecOptions {
     /// Use the registers' reset values instead of a symbolic initial state
     /// (only used by the ablation study; real UPEC runs keep this `false`).
     pub from_reset_state: bool,
+    /// Bypass the transition-relation compiler and encode the miter eagerly
+    /// (the pre-compiler baseline; used by the `compile_stats` benchmark).
+    pub eager_encoding: bool,
 }
 
 impl UpecOptions {
@@ -29,6 +30,7 @@ impl UpecOptions {
             window: k,
             conflict_limit: None,
             from_reset_state: false,
+            eager_encoding: false,
         }
     }
 
@@ -41,6 +43,12 @@ impl UpecOptions {
     /// Switches to reset-state bounded model checking (ablation only).
     pub fn from_reset(mut self) -> Self {
         self.from_reset_state = true;
+        self
+    }
+
+    /// Switches to the eager (compiler-bypassing) encoding baseline.
+    pub fn eager(mut self) -> Self {
+        self.eager_encoding = true;
         self
     }
 }
@@ -147,6 +155,13 @@ impl UpecChecker {
     /// at `t+k` — this is how the methodology tolerates already-diagnosed
     /// P-alerts. Memory-class pairs are never part of the obligation.
     ///
+    /// This is a one-shot convenience wrapper: it opens an
+    /// [`IncrementalSession`](crate::engine::IncrementalSession) for a single
+    /// query. Flows that re-solve the property — deepening the bound,
+    /// shrinking the commitment, or sweeping scenarios — should hold on to a
+    /// session (or use the [`UpecEngine`](crate::UpecEngine)) to reuse solver
+    /// state across queries.
+    ///
     /// # Panics
     ///
     /// Panics if a commitment name does not exist in the model.
@@ -156,111 +171,8 @@ impl UpecChecker {
         options: UpecOptions,
         commitment: &BTreeSet<String>,
     ) -> UpecOutcome {
-        let start = Instant::now();
-        let unroll_options = UnrollOptions {
-            use_initial_values: options.from_reset_state,
-            conflict_limit: options.conflict_limit,
-        };
-        // Assumption: all logic state equal at t (Fig. 3) — architectural and
-        // microarchitectural registers alike. This is expressed structurally
-        // (instance 2's frame-0 registers reuse instance 1's literals);
-        // memory-class registers are covered by the conditional
-        // memory-equivalence constraint instead.
-        let aliases = frame0_aliases(model, options.from_reset_state);
-        let mut unrolling =
-            Unrolling::with_frame0_aliases(model.netlist(), unroll_options, &aliases);
-        let k = options.window;
-        unrolling.extend_to(k);
-        // Initial (at t) constraints.
-        for constraint in model.initial_constraints() {
-            unrolling
-                .assume_signal_true(0, constraint.signal)
-                .unwrap_or_else(|e| panic!("constraint `{}` malformed: {e}", constraint.label));
-        }
-        // Window (during t..t+k) constraints.
-        for constraint in model.window_constraints() {
-            for frame in 0..=k {
-                unrolling
-                    .assume_signal_true(frame, constraint.signal)
-                    .unwrap_or_else(|e| panic!("constraint `{}` malformed: {e}", constraint.label));
-            }
-        }
-
-        // Obligation: every commitment pair equal at t+k. Ask the solver for
-        // a violation of at least one of them.
-        let committed: Vec<&RegisterPair> = model
-            .pairs()
-            .iter()
-            .filter(|p| p.class != StateClass::Memory && commitment.contains(&p.name))
-            .collect();
-        for name in commitment {
-            assert!(
-                model.pair(name).is_some(),
-                "commitment refers to unknown register `{name}`"
-            );
-        }
-        assert!(!committed.is_empty(), "commitment must not be empty");
-        let obligation_lits: Vec<(String, sat::Lit)> = committed
-            .iter()
-            .map(|p| {
-                let lit = unrolling
-                    .bit_lit(k, p.equal)
-                    .expect("equality signals are single bits");
-                (p.name.clone(), lit)
-            })
-            .collect();
-        unrolling.add_clause(obligation_lits.iter().map(|(_, l)| !*l));
-
-        let result = unrolling.solve(&[]);
-        let solver_stats = unrolling.solver_stats();
-        let stats = UpecStats {
-            variables: unrolling.num_vars(),
-            clauses: unrolling.num_clauses(),
-            conflicts: solver_stats.conflicts,
-            runtime: start.elapsed(),
-            window: k,
-        };
-
-        match result {
-            SatResult::Unsat => UpecOutcome::Proven(stats),
-            SatResult::Unknown => UpecOutcome::Unknown(stats),
-            SatResult::Sat(sat_model) => {
-                let mut arch = Vec::new();
-                let mut micro = Vec::new();
-                let mut values = Vec::new();
-                for pair in &committed {
-                    let v1 = unrolling
-                        .value_in_model(&sat_model, k, pair.signal1)
-                        .expect("frame exists");
-                    let v2 = unrolling
-                        .value_in_model(&sat_model, k, pair.signal2)
-                        .expect("frame exists");
-                    if v1 != v2 {
-                        match pair.class {
-                            StateClass::Architectural => arch.push(pair.name.clone()),
-                            StateClass::Microarchitectural => micro.push(pair.name.clone()),
-                            StateClass::Memory => {}
-                        }
-                        values.push((pair.name.clone(), v1, v2));
-                    }
-                }
-                let kind = if arch.is_empty() {
-                    AlertKind::PAlert
-                } else {
-                    AlertKind::LAlert
-                };
-                UpecOutcome::Violated(
-                    Alert {
-                        kind,
-                        window: k,
-                        architectural_differences: arch,
-                        microarchitectural_differences: micro,
-                        differing_values: values,
-                    },
-                    stats,
-                )
-            }
-        }
+        let mut session = crate::engine::IncrementalSession::with_options(model, options);
+        session.check_bound(options.window, commitment)
     }
 
     /// Convenience: checks with the commitment set to *all* architectural and

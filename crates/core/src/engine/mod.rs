@@ -1,0 +1,30 @@
+//! The parallel, incremental UPEC checking engine.
+//!
+//! The paper's methodology re-solves the UPEC interval property over and
+//! over: once per window length while deepening the proof, once per
+//! commitment while diagnosing P-alerts, and once per scenario in the
+//! evaluation sweep. The seed implementation rebuilt the unrolled miter and
+//! a fresh SAT solver for every single query; this module replaces that
+//! with:
+//!
+//! * [`IncrementalSession`] — one persistent solver per miter. Deepening a
+//!   bound only bit-blasts the new frame, learned clauses and branching
+//!   heuristics survive across queries, and per-query obligations are
+//!   activation-literal guarded so they can be retired without a rebuild.
+//! * [`UpecEngine`] — a worker pool that scans many scenarios (and,
+//!   optionally, stripes of one scenario's bounds) concurrently, cancelling
+//!   work that a racing stripe has already decided through the solver-level
+//!   interrupt hook.
+//! * [`EngineReport`] / [`ScenarioResult`] — aggregation of the per-bound
+//!   outcomes back into the paper's vocabulary (P-alerts, L-alerts, proven
+//!   windows), with per-scenario expectation checking against the
+//!   [scenario registry](crate::scenarios).
+
+mod scheduler;
+mod session;
+
+pub use scheduler::{
+    BoundStatus, BoundSummary, EngineOptions, EngineReport, ScanVerdict, ScenarioResult,
+    UpecEngine,
+};
+pub use session::IncrementalSession;

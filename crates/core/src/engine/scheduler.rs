@@ -1,0 +1,484 @@
+//! The parallel scenario/bound scheduler built on incremental sessions.
+
+use crate::engine::IncrementalSession;
+use crate::scenarios::{Expectation, ScenarioSpec};
+use crate::{Alert, AlertKind, UpecOutcome};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`UpecEngine`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Number of worker threads (default: available parallelism, capped
+    /// at 8).
+    pub threads: usize,
+    /// Optional cap on every scenario's scan range (`None`: each scenario's
+    /// own `max_window`).
+    pub max_window: Option<usize>,
+    /// Optional per-query SAT conflict budget.
+    pub conflict_limit: Option<u64>,
+    /// Number of bound stripes per scenario. With `n > 1` stripes, a
+    /// scenario's windows are dealt round-robin onto `n` independent
+    /// incremental sessions that race in parallel; the first L-alert cancels
+    /// the scenario's remaining work through the solvers' interrupt hook.
+    pub stripes: usize,
+}
+
+impl EngineOptions {
+    /// Defaults: all available cores (max 8), one stripe, no limits.
+    pub fn new() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            max_window: None,
+            conflict_limit: None,
+            stripes: 1,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Caps every scenario's scan range (builder style).
+    pub fn with_max_window(mut self, max_window: usize) -> Self {
+        self.max_window = Some(max_window);
+        self
+    }
+
+    /// Sets the per-query conflict budget (builder style).
+    pub fn with_conflict_limit(mut self, limit: Option<u64>) -> Self {
+        self.conflict_limit = limit;
+        self
+    }
+
+    /// Enables bound-parallel racing with `n` stripes per scenario (builder
+    /// style).
+    pub fn with_stripes(mut self, stripes: usize) -> Self {
+        self.stripes = stripes.max(1);
+        self
+    }
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Status of one checked window length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundStatus {
+    /// The property holds at this bound.
+    Proven,
+    /// A P-alert: secret reached program-invisible state only.
+    PAlert,
+    /// An L-alert: a covert channel is proven at this bound.
+    LAlert,
+    /// The solver hit its conflict budget.
+    Unknown,
+    /// Skipped because a sibling stripe already proved the scenario insecure.
+    Cancelled,
+}
+
+/// Per-bound record of a scenario scan.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundSummary {
+    /// Window length.
+    pub bound: usize,
+    /// What the check concluded.
+    pub status: BoundStatus,
+    /// SAT conflicts attributed to this bound.
+    pub conflicts: u64,
+    /// Wall-clock time of this bound's query.
+    pub runtime: Duration,
+}
+
+/// Aggregate verdict of one scenario scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanVerdict {
+    /// Proven at every window in the range.
+    Secure,
+    /// P-alerts only; no covert channel demonstrated.
+    PAlertsOnly,
+    /// At least one L-alert: the design leaks.
+    Insecure,
+    /// Budget exhausted before a verdict.
+    Inconclusive,
+}
+
+/// Result of scanning one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario that was scanned.
+    pub spec: ScenarioSpec,
+    /// Aggregate verdict over the scanned range.
+    pub verdict: ScanVerdict,
+    /// The alert with the smallest window, if any was found. When a sibling
+    /// stripe cancels in-flight work the smallest *completed* alert window is
+    /// reported.
+    pub first_alert: Option<Alert>,
+    /// Per-bound outcomes, sorted by window length.
+    pub bounds: Vec<BoundSummary>,
+    /// Total SAT conflicts across all stripes of this scenario.
+    pub conflicts: u64,
+    /// Total unit propagations across all stripes of this scenario.
+    pub propagations: u64,
+}
+
+impl ScenarioResult {
+    /// Whether the verdict matches the registry's expectation.
+    pub fn matches_expectation(&self) -> bool {
+        matches!(
+            (self.spec.expected, self.verdict),
+            (Expectation::Proven, ScanVerdict::Secure)
+                | (Expectation::PAlertsOnly, ScanVerdict::PAlertsOnly)
+                | (Expectation::LAlert, ScanVerdict::Insecure)
+        )
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let alert = match &self.first_alert {
+            Some(a) => format!(", first alert ({:?}) at k={}", a.kind, a.window),
+            None => String::new(),
+        };
+        format!(
+            "{:<18} {:?}{alert} [{} bounds, {} conflicts]",
+            self.spec.id,
+            self.verdict,
+            self.bounds.len(),
+            self.conflicts
+        )
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-scenario results, in submission order.
+    pub results: Vec<ScenarioResult>,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+}
+
+impl EngineReport {
+    /// Total SAT conflicts across every scenario.
+    pub fn total_conflicts(&self) -> u64 {
+        self.results.iter().map(|r| r.conflicts).sum()
+    }
+
+    /// Whether every scenario matched its registered expectation.
+    pub fn all_match_expectations(&self) -> bool {
+        self.results.iter().all(|r| r.matches_expectation())
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&r.summary());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} scenarios in {:.2?}, {} total conflicts",
+            self.results.len(),
+            self.wall_time,
+            self.total_conflicts()
+        ));
+        out
+    }
+}
+
+/// One unit of schedulable work: a scenario stripe.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    spec_index: usize,
+    stripe: usize,
+}
+
+/// Result of one stripe (a subset of one scenario's bounds on one session).
+struct StripeOutcome {
+    bounds: Vec<BoundSummary>,
+    first_alert: Option<Alert>,
+    conflicts: u64,
+    propagations: u64,
+}
+
+/// The parallel, incremental UPEC checking engine.
+///
+/// The engine takes a batch of [`ScenarioSpec`]s (usually straight from
+/// [`crate::scenarios::registry`]) and scans each scenario's window range on
+/// a pool of worker threads. Every unit of work is an
+/// [`IncrementalSession`]: one persistent SAT solver that walks its share of
+/// the bounds, reusing learned clauses and activities between bounds instead
+/// of re-solving from scratch.
+///
+/// Two axes of parallelism compose:
+///
+/// * **scenario-parallel** — independent scenarios are dealt to the worker
+///   pool and run concurrently;
+/// * **bound-parallel** (portfolio racing, [`EngineOptions::with_stripes`]) —
+///   a single scenario's windows are split round-robin across several racing
+///   sessions, and the first L-alert cancels the scenario's remaining work
+///   through the solver-level interrupt hook
+///   ([`sat::Solver::set_interrupt`]).
+///
+/// # Examples
+///
+/// The quick proof below runs in a couple of seconds; sweeping the full
+/// registry (`engine.run(scenarios::registry())`) is the
+/// `cargo run -p bench --bin engine` entry point.
+///
+/// ```
+/// use upec::{scenarios, EngineOptions, ScanVerdict, UpecEngine};
+///
+/// let engine = UpecEngine::new(EngineOptions::new().with_threads(2).with_max_window(1));
+/// let spec = scenarios::by_id("secure-uncached").unwrap();
+/// let report = engine.run([spec]);
+/// assert_eq!(report.results.len(), 1);
+/// assert_eq!(report.results[0].verdict, ScanVerdict::Secure);
+/// assert!(report.results[0].matches_expectation());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UpecEngine {
+    options: EngineOptions,
+}
+
+impl UpecEngine {
+    /// Creates an engine with the given options.
+    pub fn new(options: EngineOptions) -> Self {
+        Self { options }
+    }
+
+    /// Scans every scenario and aggregates the results.
+    pub fn run<I>(&self, specs: I) -> EngineReport
+    where
+        I: IntoIterator<Item = ScenarioSpec>,
+    {
+        let start = Instant::now();
+        let specs: Vec<ScenarioSpec> = specs.into_iter().collect();
+        let stripes = self.options.stripes;
+        let cancels: Vec<Arc<AtomicBool>> = specs
+            .iter()
+            .map(|_| Arc::new(AtomicBool::new(false)))
+            .collect();
+        let jobs: Mutex<VecDeque<Job>> = Mutex::new(
+            specs
+                .iter()
+                .enumerate()
+                .flat_map(|(spec_index, _)| {
+                    (0..stripes).map(move |stripe| Job { spec_index, stripe })
+                })
+                .collect(),
+        );
+        let stripe_results: Mutex<Vec<Vec<StripeOutcome>>> =
+            Mutex::new(specs.iter().map(|_| Vec::new()).collect());
+
+        let workers = self.options.threads.min(specs.len() * stripes).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = jobs.lock().unwrap().pop_front();
+                    let Some(job) = job else { break };
+                    let outcome = self.run_stripe(
+                        &specs[job.spec_index],
+                        job.stripe,
+                        stripes,
+                        &cancels[job.spec_index],
+                    );
+                    stripe_results.lock().unwrap()[job.spec_index].push(outcome);
+                });
+            }
+        });
+
+        let results = specs
+            .into_iter()
+            .zip(stripe_results.into_inner().unwrap())
+            .map(|(spec, stripes)| aggregate(spec, stripes))
+            .collect();
+        EngineReport {
+            results,
+            wall_time: start.elapsed(),
+        }
+    }
+
+    /// Runs one stripe of one scenario on a fresh incremental session.
+    fn run_stripe(
+        &self,
+        spec: &ScenarioSpec,
+        stripe: usize,
+        stride: usize,
+        cancel: &Arc<AtomicBool>,
+    ) -> StripeOutcome {
+        let model = spec.build_model();
+        let mut session = IncrementalSession::new(&model, self.options.conflict_limit);
+        session.set_interrupt(Some(cancel.clone()));
+        let commitment = spec.commitment_set(&model);
+        let max = self
+            .options
+            .max_window
+            .map_or(spec.max_window, |m| m.min(spec.max_window))
+            .max(spec.start_window);
+        let mut bounds = Vec::new();
+        let mut first_alert: Option<Alert> = None;
+        for k in (spec.start_window..=max).filter(|k| (k - spec.start_window) % stride == stripe) {
+            if cancel.load(Ordering::Relaxed) {
+                bounds.push(BoundSummary {
+                    bound: k,
+                    status: BoundStatus::Cancelled,
+                    conflicts: 0,
+                    runtime: Duration::ZERO,
+                });
+                continue;
+            }
+            let (status, conflicts, runtime) = match session.check_bound(k, &commitment) {
+                UpecOutcome::Proven(s) => (BoundStatus::Proven, s.conflicts, s.runtime),
+                UpecOutcome::Unknown(s) => {
+                    let status = if cancel.load(Ordering::Relaxed) {
+                        BoundStatus::Cancelled
+                    } else {
+                        BoundStatus::Unknown
+                    };
+                    (status, s.conflicts, s.runtime)
+                }
+                UpecOutcome::Violated(alert, s) => {
+                    let status = match alert.kind {
+                        AlertKind::PAlert => BoundStatus::PAlert,
+                        AlertKind::LAlert => BoundStatus::LAlert,
+                    };
+                    let is_l = alert.kind == AlertKind::LAlert;
+                    if first_alert.is_none() {
+                        first_alert = Some(alert);
+                    }
+                    if is_l {
+                        // A covert channel is proven: stop this scenario's
+                        // remaining work everywhere.
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                    (status, s.conflicts, s.runtime)
+                }
+            };
+            bounds.push(BoundSummary {
+                bound: k,
+                status,
+                conflicts,
+                runtime,
+            });
+            if status == BoundStatus::LAlert {
+                break;
+            }
+        }
+        let stats = session.solver_stats();
+        StripeOutcome {
+            bounds,
+            first_alert,
+            conflicts: stats.conflicts,
+            propagations: stats.propagations,
+        }
+    }
+}
+
+/// Merges a scenario's stripe outcomes into a single result.
+fn aggregate(spec: ScenarioSpec, stripes: Vec<StripeOutcome>) -> ScenarioResult {
+    let mut bounds: Vec<BoundSummary> = Vec::new();
+    let mut first_alert: Option<Alert> = None;
+    let mut conflicts = 0;
+    let mut propagations = 0;
+    for stripe in stripes {
+        bounds.extend(stripe.bounds);
+        conflicts += stripe.conflicts;
+        propagations += stripe.propagations;
+        if let Some(alert) = stripe.first_alert {
+            let better = first_alert
+                .as_ref()
+                .is_none_or(|current| alert.window < current.window);
+            if better {
+                first_alert = Some(alert);
+            }
+        }
+    }
+    bounds.sort_by_key(|b| b.bound);
+    let has = |status: BoundStatus| bounds.iter().any(|b| b.status == status);
+    let verdict = if has(BoundStatus::LAlert) {
+        ScanVerdict::Insecure
+    } else if has(BoundStatus::Unknown) || has(BoundStatus::Cancelled) {
+        ScanVerdict::Inconclusive
+    } else if has(BoundStatus::PAlert) {
+        ScanVerdict::PAlertsOnly
+    } else {
+        ScanVerdict::Secure
+    };
+    ScenarioResult {
+        spec,
+        verdict,
+        first_alert,
+        bounds,
+        conflicts,
+        propagations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    #[test]
+    fn engine_matches_expectations_on_a_fast_subset() {
+        // A cheap subset keeps the default suite fast on small machines; the
+        // `#[ignore]`d sweep below covers the whole registry and `cargo run
+        // -p bench --bin engine` runs it as a standalone gate.
+        let specs = [
+            scenarios::by_id("secure-uncached").unwrap(),
+            scenarios::by_id("orc").unwrap(),
+        ];
+        let engine = UpecEngine::new(EngineOptions::new().with_threads(2).with_max_window(2));
+        let report = engine.run(specs);
+        for result in &report.results {
+            assert!(
+                result.matches_expectation(),
+                "{}: expected {:?}, got {:?}\n{}",
+                result.spec.id,
+                result.spec.expected,
+                result.verdict,
+                result.summary()
+            );
+        }
+    }
+
+    /// The full-registry sweep takes tens of SAT-heavy minutes on a small
+    /// machine, so it is opt-in: `cargo test -p upec --release -- --ignored`.
+    #[test]
+    #[ignore = "multi-minute SAT sweep of every registered scenario; run with --ignored"]
+    fn engine_reproduces_every_registry_expectation() {
+        let engine = UpecEngine::new(EngineOptions::new());
+        let report = engine.run(scenarios::registry());
+        assert!(report.all_match_expectations(), "{}", report.summary());
+    }
+
+    #[test]
+    fn bound_striping_agrees_with_single_stripe() {
+        let spec = scenarios::by_id("orc").unwrap();
+        let options = EngineOptions::new().with_threads(1).with_max_window(2);
+        let single = UpecEngine::new(options).run([spec]);
+        let striped = UpecEngine::new(
+            EngineOptions::new().with_threads(2).with_stripes(2).with_max_window(2),
+        )
+        .run([spec]);
+        assert_eq!(single.results[0].verdict, ScanVerdict::Insecure);
+        assert_eq!(striped.results[0].verdict, ScanVerdict::Insecure);
+    }
+
+    #[test]
+    fn max_window_caps_the_scan() {
+        let spec = scenarios::by_id("secure-uncached").unwrap();
+        let report = UpecEngine::new(EngineOptions::new().with_threads(1).with_max_window(1))
+            .run([spec]);
+        assert_eq!(report.results[0].bounds.len(), 1);
+        assert_eq!(report.results[0].verdict, ScanVerdict::Secure);
+    }
+}

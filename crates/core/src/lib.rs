@@ -24,6 +24,16 @@
 //!    the inductive proof of Sec. VI: differences confined to the P-alerting
 //!    registers can never reach architectural state.
 //!
+//! Beyond the paper, two subsystems make the flow scale:
+//!
+//! * the [`engine`] module — [`IncrementalSession`] (one persistent SAT
+//!   solver per miter, reused across bound deepening and commitment
+//!   shrinking) and [`UpecEngine`] (a scenario- and bound-parallel worker
+//!   pool with solver-level cancellation);
+//! * the [`scenarios`] module — the named registry of every attack scenario
+//!   the reproduction checks, with paper references and expected verdicts,
+//!   shared by the engine, the bench binaries and the examples.
+//!
 //! # Example
 //!
 //! ```
@@ -47,8 +57,16 @@ mod check;
 mod methodology;
 mod model;
 
+pub mod engine;
+pub mod scenarios;
+
 pub use check::{full_commitment, Alert, AlertKind, UpecChecker, UpecOptions, UpecOutcome, UpecStats};
+pub use engine::{
+    BoundStatus, BoundSummary, EngineOptions, EngineReport, IncrementalSession, ScanVerdict,
+    ScenarioResult, UpecEngine,
+};
 pub use methodology::{
-    prove_alert_closure, run_methodology, ClosureOutcome, MethodologyReport, Verdict,
+    close_alert_set, prove_alert_closure, run_methodology, ClosureOutcome, MethodologyReport,
+    Verdict,
 };
 pub use model::{NamedConstraint, RegisterPair, SecretScenario, StateClass, UpecModel};

@@ -1,8 +1,10 @@
 //! The UPEC computational model: two SoC instances with coupled memories
 //! (paper Fig. 3).
 
+use bmc::CompiledTransition;
 use rtl::{Netlist, SignalId};
 use soc::{build_soc, SocConfig, SocInstance};
+use std::sync::Arc;
 
 /// Whether the secret initially resides in the data cache (the two columns of
 /// the paper's Table I).
@@ -90,6 +92,7 @@ pub struct UpecModel {
     initial_constraints: Vec<NamedConstraint>,
     window_constraints: Vec<NamedConstraint>,
     memory_equivalence: SignalId,
+    compiled: Arc<CompiledTransition>,
 }
 
 impl UpecModel {
@@ -126,7 +129,11 @@ impl UpecModel {
         // i-th register of instance 1 corresponds to the i-th of instance 2
         // within each instance's own register range. Match by stripped name
         // to stay robust.
-        let regs1: Vec<_> = class1.keys().copied().collect();
+        // Iterate in register-creation order (not HashMap order) so the
+        // miter's CNF variable numbering — and with it solver behavior and
+        // statistics — is identical on every run.
+        let mut regs1: Vec<_> = class1.keys().copied().collect();
+        regs1.sort_by_key(|r| r.index());
         for reg1 in regs1 {
             let info1 = n.register_info(reg1).clone();
             let name = strip(&info1.name, &soc1.prefix);
@@ -138,7 +145,15 @@ impl UpecModel {
             let class = class1[&reg1];
             let equal = n.eq(info1.signal, info2.signal);
             let blocking = |inst: &SocInstance, name: &str| -> Option<SignalId> {
-                if name.starts_with("ex_mem_") {
+                // Fault flags get their stricter blocking conditions: a
+                // differing fault bit selects which trap is taken (it feeds
+                // `mcause` and the flush logic), so the stage's own fault
+                // must not excuse it — see the `SocInstance` field docs.
+                if name == "ex_mem_fault" {
+                    Some(inst.ex_mem_fault_blocked)
+                } else if name == "mem_wb_fault" {
+                    Some(inst.mem_wb_fault_blocked)
+                } else if name.starts_with("ex_mem_") {
                     Some(inst.ex_mem_blocked)
                 } else if name.starts_with("mem_wb_") {
                     Some(inst.mem_wb_blocked)
@@ -284,6 +299,20 @@ impl UpecModel {
         ];
 
         n.validate().expect("miter netlist is well formed");
+
+        // Compile the transition relation once per miter: cone-of-influence
+        // roots are every signal a UPEC query can constrain, commit to or
+        // extract. All sessions, checkers and portfolio stripes share this
+        // schedule through the `Arc`.
+        let mut roots: Vec<SignalId> = Vec::new();
+        roots.extend(initial_constraints.iter().map(|c| c.signal));
+        roots.extend(window_constraints.iter().map(|c| c.signal));
+        roots.push(memory_equivalence);
+        for pair in &pairs {
+            roots.extend([pair.signal1, pair.signal2, pair.equal, pair.equal_or_blocked]);
+        }
+        let compiled = Arc::new(CompiledTransition::compile_with_roots(&n, &roots));
+
         Self {
             netlist: n,
             config: config.clone(),
@@ -294,7 +323,15 @@ impl UpecModel {
             initial_constraints,
             window_constraints,
             memory_equivalence,
+            compiled,
         }
+    }
+
+    /// The transition relation compiled for this miter (cone-of-influence
+    /// pruned, structurally hashed, constant folded). Shared by every
+    /// session opened on this model.
+    pub fn compiled_transition(&self) -> &Arc<CompiledTransition> {
+        &self.compiled
     }
 
     /// The miter netlist.

@@ -1,0 +1,306 @@
+//! The attack-scenario registry: one named table of every workload the
+//! reproduction can check, shared by the engine, the bench binaries and the
+//! examples.
+//!
+//! Each [`ScenarioSpec`] bundles a design variant, a secret placement, a
+//! proof-obligation shape and the window range to scan, together with the
+//! paper figure/table it reproduces and the expected verdict. Everything
+//! that used to duplicate this setup — bench binaries, examples, tests —
+//! drives off [`registry`] (or [`by_id`]) instead.
+//!
+//! # Examples
+//!
+//! ```
+//! use upec::scenarios;
+//!
+//! let orc = scenarios::by_id("orc").expect("registered");
+//! assert_eq!(orc.variant.name(), "orc");
+//! let model = orc.build_model();
+//! assert!(model.pairs().len() > 10);
+//! ```
+
+use crate::{SecretScenario, StateClass, UpecModel};
+use soc::{Instruction, Program, SocConfig, SocVariant};
+use std::collections::BTreeSet;
+
+/// Shape of the proof obligation (which register pairs must stay equal at
+/// `t+k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitmentKind {
+    /// Every architectural and microarchitectural register pair (the
+    /// methodology's first iteration; violations start as P-alerts).
+    Full,
+    /// Architectural registers only: any violation is an L-alert, i.e. a
+    /// proven covert channel.
+    Architectural,
+    /// The data cache's tag/valid state only: detects secret-dependent cache
+    /// footprints (the paper's "well-known starting point for side channel
+    /// attacks").
+    CacheState,
+}
+
+/// The verdict a scenario is expected to produce (used by tests and the CI
+/// regression gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// The property is proven at every window in the scan range.
+    Proven,
+    /// P-alerts occur but no L-alert: secret data propagates into
+    /// program-invisible state only.
+    PAlertsOnly,
+    /// An L-alert occurs within the scan range: the design has a covert
+    /// channel (or a direct leak).
+    LAlert,
+}
+
+/// A named, self-contained attack scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Stable machine-readable identifier (used by `by_id`, bench CLIs, CI).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Paper figure/table/section this scenario reproduces.
+    pub paper_ref: &'static str,
+    /// Design variant under verification.
+    pub variant: SocVariant,
+    /// Secret placement at the symbolic starting time point.
+    pub secret: SecretScenario,
+    /// Proof-obligation shape.
+    pub commitment: CommitmentKind,
+    /// First window length worth checking (skipping windows that are too
+    /// short for the attack to complete keeps scans cheap; cf. the PMP
+    /// scenario, whose shortest leak needs seven cycles).
+    pub start_window: usize,
+    /// Last window length of the scan range.
+    pub max_window: usize,
+    /// Expected verdict over the scan range.
+    pub expected: Expectation,
+    /// One-line description for reports and the README table.
+    pub description: &'static str,
+}
+
+impl ScenarioSpec {
+    /// The reduced SoC geometry used for the formal proofs (small enough for
+    /// the from-scratch SAT solver while preserving every microarchitectural
+    /// mechanism the paper's evaluation depends on).
+    pub fn formal_config(&self) -> SocConfig {
+        SocConfig::new(self.variant)
+            .with_registers(4)
+            .with_cache_lines(2)
+            .with_miss_latency(1)
+            .with_store_latency(1)
+    }
+
+    /// The full-size geometry used for the simulation-based figures.
+    pub fn sim_config(&self) -> SocConfig {
+        SocConfig::new(self.variant)
+    }
+
+    /// Builds the two-instance UPEC miter for this scenario (formal
+    /// geometry).
+    pub fn build_model(&self) -> UpecModel {
+        UpecModel::new(&self.formal_config(), self.secret)
+    }
+
+    /// The commitment set for this scenario's obligation shape.
+    pub fn commitment_set(&self, model: &UpecModel) -> BTreeSet<String> {
+        match self.commitment {
+            CommitmentKind::Full => crate::full_commitment(model),
+            CommitmentKind::Architectural => model
+                .pairs_of_class(StateClass::Architectural)
+                .map(|p| p.name.clone())
+                .collect(),
+            CommitmentKind::CacheState => model
+                .pairs()
+                .iter()
+                .map(|p| p.name.clone())
+                .filter(|n| n.starts_with("dcache.tag") || n.starts_with("dcache.valid"))
+                .collect(),
+        }
+    }
+
+    /// The attacker program demonstrating this scenario on the simulator
+    /// (`None` for purely formal scenarios).
+    pub fn demo_program(&self, config: &SocConfig) -> Option<Program> {
+        match self.id {
+            "orc" => Some(orc_attack_program(config, 3)),
+            "meltdown" | "meltdown-timing" | "cache-footprint" => Some(transient_program(config)),
+            _ => None,
+        }
+    }
+}
+
+/// One iteration of the Orc attack (paper Fig. 2) for a given guess of the
+/// secret's cache index.
+pub fn orc_attack_program(config: &SocConfig, guess: u32) -> Program {
+    let accessible = 0x40u32;
+    let mut p = Program::new(0);
+    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
+    p.push(Instruction::Addi { rd: 2, rs1: 0, imm: accessible as i32 });
+    p.push(Instruction::Addi { rd: 2, rs1: 2, imm: (guess * 4) as i32 });
+    p.push(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 });
+    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
+    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+    p.push_nops(2);
+    p
+}
+
+/// The Meltdown-style transient sequence used for the Fig. 1 footprint
+/// experiment.
+pub fn transient_program(config: &SocConfig) -> Program {
+    let mut p = Program::new(0);
+    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
+    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
+    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+    p.push_nops(2);
+    p
+}
+
+/// The full scenario registry, in presentation order.
+pub fn registry() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            id: "secure-uncached",
+            title: "Secure design, secret only in main memory",
+            paper_ref: "Table I, column 'D not in cache'",
+            variant: SocVariant::Secure,
+            secret: SecretScenario::NotInCache,
+            commitment: CommitmentKind::Full,
+            start_window: 1,
+            max_window: 2,
+            expected: Expectation::Proven,
+            description: "Baseline proof: no state deviation of any kind on the original design",
+        },
+        ScenarioSpec {
+            id: "secure-cached",
+            title: "Secure design, secret cached",
+            paper_ref: "Table I, column 'D in cache'",
+            variant: SocVariant::Secure,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::Full,
+            start_window: 1,
+            max_window: 2,
+            expected: Expectation::PAlertsOnly,
+            description: "P-alerts appear (cache hit data enters the pipeline) but close inductively",
+        },
+        ScenarioSpec {
+            id: "secure-arch-only",
+            title: "Secure design, architectural obligation only",
+            paper_ref: "Sec. V control experiment",
+            variant: SocVariant::Secure,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::Architectural,
+            start_window: 1,
+            max_window: 2,
+            expected: Expectation::Proven,
+            description: "Control: the original design shows no L-alert at small windows",
+        },
+        ScenarioSpec {
+            id: "meltdown",
+            title: "Meltdown-style uncancelled refill",
+            paper_ref: "Sec. VII-B, Table II row 2",
+            variant: SocVariant::MeltdownStyle,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::Full,
+            start_window: 1,
+            max_window: 2,
+            expected: Expectation::PAlertsOnly,
+            description: "Transient refill survives the flush; secret marks microarchitectural state",
+        },
+        ScenarioSpec {
+            id: "meltdown-timing",
+            title: "Meltdown-style refill as a timing channel",
+            paper_ref: "new variant (beyond the paper's Table II)",
+            variant: SocVariant::MeltdownStyle,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::Architectural,
+            start_window: 3,
+            max_window: 3,
+            expected: Expectation::LAlert,
+            description: "The uncancelled refill also skews architectural timing: an L-alert at k=3",
+        },
+        ScenarioSpec {
+            id: "cache-footprint",
+            title: "Secret-dependent cache footprint",
+            paper_ref: "Fig. 1",
+            variant: SocVariant::MeltdownStyle,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::CacheState,
+            start_window: 1,
+            max_window: 5,
+            expected: Expectation::PAlertsOnly,
+            description: "The dcache tag/valid state depends on the secret after a transient access (first visible at k=5)",
+        },
+        ScenarioSpec {
+            id: "orc",
+            title: "Orc replay-buffer bypass",
+            paper_ref: "Fig. 2, Table II row 1",
+            variant: SocVariant::Orc,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::Architectural,
+            start_window: 1,
+            max_window: 5,
+            expected: Expectation::LAlert,
+            description: "RAW-hazard stall timing leaks the secret's cache index: a true covert channel",
+        },
+        ScenarioSpec {
+            id: "pmp-lock",
+            title: "PMP TOR-lock ISA violation",
+            paper_ref: "Sec. VII-C",
+            variant: SocVariant::PmpLockBug,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::Architectural,
+            start_window: 7,
+            max_window: 9,
+            expected: Expectation::LAlert,
+            description: "Privileged code can move a locked region's base: the secret leaks directly",
+        },
+    ]
+}
+
+/// Looks up a scenario by its stable identifier.
+pub fn by_id(id: &str) -> Option<ScenarioSpec> {
+    registry().into_iter().find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let specs = registry();
+        let mut ids: Vec<_> = specs.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), specs.len(), "duplicate scenario ids");
+        for spec in &specs {
+            assert_eq!(by_id(spec.id).as_ref().map(|s| s.id), Some(spec.id));
+        }
+        assert!(by_id("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_scenario_builds_a_model_with_a_nonempty_commitment() {
+        for spec in registry() {
+            let model = spec.build_model();
+            let commitment = spec.commitment_set(&model);
+            assert!(!commitment.is_empty(), "{}: empty commitment", spec.id);
+            assert!(spec.start_window >= 1 && spec.start_window <= spec.max_window, "{}", spec.id);
+        }
+    }
+
+    #[test]
+    fn demo_programs_have_the_papers_shape() {
+        let orc = by_id("orc").unwrap();
+        let config = orc.sim_config();
+        let p = orc.demo_program(&config).expect("orc ships a demo");
+        assert_eq!(p.len(), 8);
+        assert!(p.listing().contains("lw x5, 0(x4)"));
+        let meltdown = by_id("meltdown").unwrap();
+        let t = meltdown.demo_program(&meltdown.sim_config()).expect("demo");
+        assert!(t.listing().contains("lw x4, 0(x1)"));
+        assert!(by_id("secure-uncached").unwrap().demo_program(&config).is_none());
+    }
+}

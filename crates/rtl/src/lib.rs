@@ -52,15 +52,19 @@
 
 #![warn(missing_docs)]
 
+mod coi;
 mod error;
 mod netlist;
 mod node;
+mod rng;
 mod stats;
 mod value;
 
 pub mod dot;
 
+pub use coi::{Coi, CoiStats};
 pub use error::RtlError;
+pub use rng::SplitMix64;
 pub use netlist::{Netlist, OutputPort, RegisterHandle, RegisterInfo};
 pub use node::{BinaryOp, Node, RegisterId, SignalId, UnaryOp};
 pub use stats::NetlistStats;

@@ -1,92 +1,114 @@
-//! Property-based tests of the bit-vector value semantics that the whole
-//! workspace (simulator and bit-blaster alike) relies on.
+//! Randomized property tests of the bit-vector value semantics that the
+//! whole workspace (simulator and bit-blaster alike) relies on. Cases are
+//! generated with the in-repo deterministic [`SplitMix64`] generator, so the
+//! suite needs no external property-testing dependency and every run checks
+//! the same cases.
 
-use proptest::prelude::*;
-use rtl::BitVec;
+use rtl::{BitVec, SplitMix64};
 
-fn width() -> impl Strategy<Value = u32> {
-    1u32..=64
+const CASES: usize = 256;
+
+/// Yields `(width, a, b)` triples covering all widths 1..=64.
+fn cases() -> impl Iterator<Item = (u32, u64, u64)> {
+    let mut rng = SplitMix64::new(0xb17_5ec);
+    (0..CASES).map(move |i| {
+        let w = (i as u32 % 64) + 1;
+        (w, rng.next_u64(), rng.next_u64())
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Addition is commutative, associative with respect to wrapping, and
-    /// subtraction is its inverse.
-    #[test]
-    fn add_sub_are_modular_inverses(w in width(), a: u64, b: u64) {
+#[test]
+fn add_sub_are_modular_inverses() {
+    for (w, a, b) in cases() {
         let x = BitVec::new(a, w);
         let y = BitVec::new(b, w);
-        prop_assert_eq!(x.add(&y), y.add(&x));
-        prop_assert_eq!(x.add(&y).sub(&y), x);
-        prop_assert_eq!(x.sub(&y).add(&y), x);
-        prop_assert_eq!(x.add(&x.neg()), BitVec::zero(w));
+        assert_eq!(x.add(&y), y.add(&x));
+        assert_eq!(x.add(&y).sub(&y), x);
+        assert_eq!(x.sub(&y).add(&y), x);
+        assert_eq!(x.add(&x.neg()), BitVec::zero(w));
     }
+}
 
-    /// Bitwise operators satisfy De Morgan's laws.
-    #[test]
-    fn de_morgan(w in width(), a: u64, b: u64) {
+#[test]
+fn de_morgan() {
+    for (w, a, b) in cases() {
         let x = BitVec::new(a, w);
         let y = BitVec::new(b, w);
-        prop_assert_eq!(x.and(&y).not(), x.not().or(&y.not()));
-        prop_assert_eq!(x.or(&y).not(), x.not().and(&y.not()));
-        prop_assert_eq!(x.xor(&y), x.and(&y.not()).or(&x.not().and(&y)));
+        assert_eq!(x.and(&y).not(), x.not().or(&y.not()));
+        assert_eq!(x.or(&y).not(), x.not().and(&y.not()));
+        assert_eq!(x.xor(&y), x.and(&y.not()).or(&x.not().and(&y)));
     }
+}
 
-    /// Slicing and concatenation are inverses.
-    #[test]
-    fn slice_concat_roundtrip(w_hi in 1u32..=32, w_lo in 1u32..=32, a: u64, b: u64) {
-        let hi = BitVec::new(a, w_hi);
-        let lo = BitVec::new(b, w_lo);
+#[test]
+fn slice_concat_roundtrip() {
+    let mut rng = SplitMix64::new(0x51_1ce);
+    for _ in 0..CASES {
+        let w_hi = rng.gen_range(1..=32) as u32;
+        let w_lo = rng.gen_range(1..=32) as u32;
+        let hi = BitVec::new(rng.next_u64(), w_hi);
+        let lo = BitVec::new(rng.next_u64(), w_lo);
         let cat = hi.concat(&lo);
-        prop_assert_eq!(cat.width(), w_hi + w_lo);
-        prop_assert_eq!(cat.slice(w_hi + w_lo - 1, w_lo), hi);
-        prop_assert_eq!(cat.slice(w_lo - 1, 0), lo);
+        assert_eq!(cat.width(), w_hi + w_lo);
+        assert_eq!(cat.slice(w_hi + w_lo - 1, w_lo), hi);
+        assert_eq!(cat.slice(w_lo - 1, 0), lo);
     }
+}
 
-    /// Comparisons agree with the integer interpretation.
-    #[test]
-    fn comparisons_match_integers(w in width(), a: u64, b: u64) {
+#[test]
+fn comparisons_match_integers() {
+    for (w, a, b) in cases() {
         let x = BitVec::new(a, w);
         let y = BitVec::new(b, w);
-        prop_assert_eq!(x.ult(&y).is_true(), x.as_u64() < y.as_u64());
-        prop_assert_eq!(x.ule(&y).is_true(), x.as_u64() <= y.as_u64());
-        prop_assert_eq!(x.eq_bit(&y).is_true(), x.as_u64() == y.as_u64());
-        prop_assert_eq!(x.slt(&y).is_true(), x.as_i64() < y.as_i64());
+        assert_eq!(x.ult(&y).is_true(), x.as_u64() < y.as_u64());
+        assert_eq!(x.ule(&y).is_true(), x.as_u64() <= y.as_u64());
+        assert_eq!(x.eq_bit(&y).is_true(), x.as_u64() == y.as_u64());
+        assert_eq!(x.slt(&y).is_true(), x.as_i64() < y.as_i64());
     }
+}
 
-    /// Shifts match multiplication/division by powers of two.
-    #[test]
-    fn shifts_match_arithmetic(w in width(), a: u64, amount in 0u32..70) {
+#[test]
+fn shifts_match_arithmetic() {
+    let mut rng = SplitMix64::new(0x5817);
+    for (w, a, _) in cases() {
+        let amount = rng.gen_range(0..70) as u32;
         let x = BitVec::new(a, w);
         let shifted = x.shl(amount);
         if amount >= w {
-            prop_assert!(shifted.is_zero());
+            assert!(shifted.is_zero());
         } else {
-            prop_assert_eq!(shifted.as_u64(), (x.as_u64() << amount) & BitVec::ones(w).as_u64());
+            assert_eq!(
+                shifted.as_u64(),
+                (x.as_u64() << amount) & BitVec::ones(w).as_u64()
+            );
         }
         let shifted = x.shr(amount);
         if amount >= w {
-            prop_assert!(shifted.is_zero());
+            assert!(shifted.is_zero());
         } else {
-            prop_assert_eq!(shifted.as_u64(), x.as_u64() >> amount);
+            assert_eq!(shifted.as_u64(), x.as_u64() >> amount);
         }
     }
+}
 
-    /// Sign/zero extension preserve the numeric interpretation.
-    #[test]
-    fn extensions_preserve_value(w in 1u32..=32, extra in 0u32..=32, a: u64) {
-        let x = BitVec::new(a, w);
-        prop_assert_eq!(x.zext(w + extra).as_u64(), x.as_u64());
-        prop_assert_eq!(x.sext(w + extra).as_i64(), x.as_i64());
+#[test]
+fn extensions_preserve_value() {
+    let mut rng = SplitMix64::new(0xe87);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1..=32) as u32;
+        let extra = rng.gen_range(0..=32) as u32;
+        let x = BitVec::new(rng.next_u64(), w);
+        assert_eq!(x.zext(w + extra).as_u64(), x.as_u64());
+        assert_eq!(x.sext(w + extra).as_i64(), x.as_i64());
     }
+}
 
-    /// Reductions match their definitions.
-    #[test]
-    fn reductions(w in width(), a: u64) {
+#[test]
+fn reductions() {
+    for (w, a, _) in cases() {
         let x = BitVec::new(a, w);
-        prop_assert_eq!(x.reduce_or().is_true(), x.as_u64() != 0);
-        prop_assert_eq!(x.reduce_and().is_true(), x == BitVec::ones(w));
-        prop_assert_eq!(x.reduce_xor().is_true(), x.as_u64().count_ones() % 2 == 1);
+        assert_eq!(x.reduce_or().is_true(), x.as_u64() != 0);
+        assert_eq!(x.reduce_and().is_true(), x == BitVec::ones(w));
+        assert_eq!(x.reduce_xor().is_true(), x.as_u64().count_ones() % 2 == 1);
     }
 }

@@ -15,7 +15,12 @@
 //! * periodic deletion of inactive learned clauses,
 //! * solving under assumptions and an optional conflict budget (used by the
 //!   benchmark harness to reproduce the paper's notion of a *feasible* proof
-//!   window).
+//!   window),
+//! * **incremental sessions**: clauses and variables may be added between
+//!   `solve` calls while learned clauses, activities and phases persist;
+//!   retractable obligations via activation literals; per-call effort
+//!   accounting ([`SolverStats::delta_since`]) and a cross-thread interrupt
+//!   hook ([`Solver::set_interrupt`]) for portfolio-style cancellation.
 //!
 //! # Example
 //!

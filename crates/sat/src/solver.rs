@@ -7,8 +7,16 @@
 
 use crate::{CnfFormula, LBool, Lit, Model, SatResult, Var};
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Statistics collected during solving.
+///
+/// All fields except `learnt_clauses` are monotonically increasing counters
+/// accumulated over the solver's lifetime; `learnt_clauses` is a gauge (the
+/// current database size). To attribute effort to a single `solve` call in an
+/// incremental session, snapshot the stats before the call and use
+/// [`SolverStats::delta_since`] afterwards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Number of decisions made.
@@ -25,9 +33,47 @@ pub struct SolverStats {
     pub deleted_clauses: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
+impl SolverStats {
+    /// Counter difference `self - earlier`, for measuring one solving episode
+    /// of an incremental session. Counters are subtracted (saturating, so a
+    /// mismatched snapshot cannot underflow); the `learnt_clauses` gauge
+    /// keeps the current value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sat::{Solver, SolverStats};
+    ///
+    /// let mut solver = Solver::new();
+    /// let a = solver.new_var().positive();
+    /// let b = solver.new_var().positive();
+    /// solver.add_clause([a, b]);
+    /// let before = solver.stats();
+    /// assert!(solver.solve().is_sat());
+    /// let spent = solver.stats().delta_since(&before);
+    /// assert_eq!(spent.conflicts, 0); // trivially satisfiable
+    /// ```
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnt_clauses: self.learnt_clauses,
+            deleted_clauses: self.deleted_clauses.saturating_sub(earlier.deleted_clauses),
+        }
+    }
+}
+
+/// Clause metadata. The literals themselves live in one flat arena
+/// (`Solver::clause_lits`) indexed by `start..start + len`: propagation is
+/// memory-latency-bound, and keeping all clause literals contiguous removes
+/// one pointer dereference (and most cache misses) per visited clause
+/// compared to a `Vec<Lit>` per clause.
+#[derive(Debug, Clone, Copy)]
+struct ClauseHeader {
+    start: u32,
+    len: u32,
     learnt: bool,
     deleted: bool,
     activity: f64,
@@ -93,7 +139,8 @@ impl Ord for HeapEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    headers: Vec<ClauseHeader>,
+    clause_lits: Vec<Lit>,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     var_data: Vec<VarData>,
@@ -109,6 +156,7 @@ pub struct Solver {
     ok: bool,
     stats: SolverStats,
     conflict_limit: Option<u64>,
+    interrupt: Option<Arc<AtomicBool>>,
     num_learnts: usize,
     max_learnts: usize,
 }
@@ -123,7 +171,8 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Self {
-            clauses: Vec::new(),
+            headers: Vec::new(),
+            clause_lits: Vec::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
             var_data: Vec::new(),
@@ -139,6 +188,7 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
             conflict_limit: None,
+            interrupt: None,
             num_learnts: 0,
             max_learnts: 8192,
         }
@@ -154,6 +204,26 @@ impl Solver {
         self.conflict_limit = limit;
     }
 
+    /// Installs a shared interrupt flag checked at the same place as the
+    /// conflict limit (once per conflict). When another thread raises the
+    /// flag, the current `solve` call winds down and returns
+    /// [`SatResult::Unknown`]; the solver state stays valid and later calls
+    /// (after the flag is cleared) work normally.
+    ///
+    /// This is the cancellation hook the portfolio scheduler in the `upec`
+    /// crate uses to stop losing solver configurations as soon as a winner
+    /// produces a definitive answer.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// Whether an installed interrupt flag is currently raised.
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
     /// Number of allocated variables.
     pub fn num_vars(&self) -> usize {
         self.assigns.len()
@@ -161,7 +231,13 @@ impl Solver {
 
     /// Number of problem clauses (excluding learned clauses).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.headers.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// The literals of a clause.
+    fn lits_of(&self, clause: u32) -> &[Lit] {
+        let h = &self.headers[clause as usize];
+        &self.clause_lits[h.start as usize..(h.start + h.len) as usize]
     }
 
     /// Solving statistics accumulated so far.
@@ -234,20 +310,28 @@ impl Solver {
         if !self.ok {
             return;
         }
-        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        let clause: Vec<Lit> = lits.into_iter().collect();
         for l in &clause {
             assert!(
                 l.var().index() < self.num_vars(),
                 "literal {l} refers to an unallocated variable"
             );
         }
-        clause.sort_unstable();
-        clause.dedup();
-        // Tautology / falsified-literal simplification at level 0.
-        let mut simplified = Vec::with_capacity(clause.len());
+        // Tautology check, then order-preserving dedup / falsified-literal
+        // simplification at level 0. The original literal order is kept so
+        // the watched positions stay spread across the clause set — sorting
+        // by literal code would concentrate every watch on the lowest-index
+        // variables and produce pathologically long watch lists.
+        if clause
+            .iter()
+            .any(|&l| clause.iter().any(|&other| other == !l))
+        {
+            return; // tautology
+        }
+        let mut simplified: Vec<Lit> = Vec::with_capacity(clause.len());
         for &l in &clause {
-            if clause.contains(&!l) {
-                return; // tautology
+            if simplified.contains(&l) {
+                continue; // duplicate
             }
             match self.value_lit(l) {
                 LBool::True => return, // already satisfied
@@ -281,7 +365,7 @@ impl Solver {
 
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
-        let idx = self.clauses.len() as u32;
+        let idx = self.headers.len() as u32;
         let w0 = Watcher {
             clause: idx,
             blocker: lits[1],
@@ -296,8 +380,12 @@ impl Solver {
             self.num_learnts += 1;
             self.stats.learnt_clauses = self.num_learnts as u64;
         }
-        self.clauses.push(Clause {
-            lits,
+        let start = self.clause_lits.len() as u32;
+        let len = lits.len() as u32;
+        self.clause_lits.extend_from_slice(&lits);
+        self.headers.push(ClauseHeader {
+            start,
+            len,
             learnt,
             deleted: false,
             activity: 0.0,
@@ -322,6 +410,10 @@ impl Solver {
             self.qhead += 1;
             self.stats.propagations += 1;
 
+            // Move the list out for the scan; during the scan no watcher can
+            // be pushed onto `p`'s own list (a new watch `!lk` equals `p`
+            // only if `lk == !p`, and `!p` is false here, never a valid new
+            // watch), so the compacted list is moved back in O(1) below.
             let mut watchers = std::mem::take(&mut self.watches[p.code()]);
             let mut i = 0;
             'watchers: while i < watchers.len() {
@@ -332,30 +424,29 @@ impl Solver {
                     continue;
                 }
                 let ci = w.clause as usize;
-                if self.clauses[ci].deleted {
+                let header = self.headers[ci];
+                if header.deleted {
                     watchers.swap_remove(i);
                     continue;
                 }
+                let s = header.start as usize;
                 // Make sure the false literal (!p) is at position 1.
-                {
-                    let lits = &mut self.clauses[ci].lits;
-                    if lits[0] == !p {
-                        lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(lits[1], !p);
+                if self.clause_lits[s] == !p {
+                    self.clause_lits.swap(s, s + 1);
                 }
-                let first = self.clauses[ci].lits[0];
+                debug_assert_eq!(self.clause_lits[s + 1], !p);
+                let first = self.clause_lits[s];
                 if first != w.blocker && self.value_lit(first) == LBool::True {
                     watchers[i].blocker = first;
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[ci].lits.len();
+                let len = header.len as usize;
                 for k in 2..len {
-                    let lk = self.clauses[ci].lits[k];
+                    let lk = self.clause_lits[s + k];
                     if self.value_lit(lk) != LBool::False {
-                        self.clauses[ci].lits.swap(1, k);
+                        self.clause_lits.swap(s + 1, s + k);
                         self.watches[(!lk).code()].push(Watcher {
                             clause: w.clause,
                             blocker: first,
@@ -376,7 +467,8 @@ impl Solver {
                     i += 1;
                 }
             }
-            self.watches[p.code()].extend(watchers.drain(..));
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = watchers;
             if conflict.is_some() {
                 break;
             }
@@ -399,10 +491,10 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, clause: u32) {
-        let c = &mut self.clauses[clause as usize];
+        let c = &mut self.headers[clause as usize];
         c.activity += self.clause_inc;
         if c.activity > 1e20 {
-            for cl in &mut self.clauses {
+            for cl in &mut self.headers {
                 cl.activity *= 1e-20;
             }
             self.clause_inc *= 1e-20;
@@ -418,10 +510,10 @@ impl Solver {
         let current_level = self.decision_level();
 
         loop {
-            if self.clauses[confl as usize].learnt {
+            if self.headers[confl as usize].learnt {
                 self.bump_clause(confl);
             }
-            let lits = self.clauses[confl as usize].lits.clone();
+            let lits = self.lits_of(confl).to_vec();
             let start = usize::from(p.is_some());
             for &q in &lits[start..] {
                 let v = q.var();
@@ -509,16 +601,16 @@ impl Solver {
 
     fn reduce_db(&mut self) {
         let mut learnt_indices: Vec<usize> = self
-            .clauses
+            .headers
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .filter(|(_, c)| c.learnt && !c.deleted && c.len > 2)
             .map(|(i, _)| i)
             .collect();
         learnt_indices.sort_by(|&a, &b| {
-            self.clauses[a]
+            self.headers[a]
                 .activity
-                .partial_cmp(&self.clauses[b].activity)
+                .partial_cmp(&self.headers[b].activity)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let locked: std::collections::HashSet<u32> =
@@ -533,9 +625,10 @@ impl Solver {
             if is_locked(idx) {
                 continue;
             }
-            self.clauses[idx].deleted = true;
-            self.clauses[idx].lits.clear();
-            self.clauses[idx].lits.shrink_to_fit();
+            // The header is tombstoned; its literals stay in the arena as a
+            // hole (propagation never visits them again because the watcher
+            // entries are dropped lazily).
+            self.headers[idx].deleted = true;
             removed += 1;
             self.num_learnts -= 1;
             self.stats.deleted_clauses += 1;
@@ -570,9 +663,40 @@ impl Solver {
     /// Assumptions are treated as decisions made before any free decision; if
     /// they are inconsistent with the formula the result is
     /// [`SatResult::Unsat`] without the assumptions becoming learned facts.
+    ///
+    /// # Incremental solving
+    ///
+    /// Successive calls form an *incremental session*: everything expensive
+    /// the solver has built up — the learned-clause database, VSIDS variable
+    /// activities, saved phases and the level-0 trail of implied facts — is
+    /// kept between calls rather than rebuilt. Clauses (and variables) may be
+    /// added between calls, which is how the `bmc` unrolling extends a proof
+    /// to a deeper bound without restarting the search from nothing, and
+    /// per-call obligations are expressed through *activation literals*:
+    /// add `(!act ∨ c₁ ∨ …)`, solve with `act` assumed, then retire the
+    /// obligation forever with the unit clause `!act`.
+    ///
+    /// Learned clauses stay sound across calls because assumptions are
+    /// pseudo-decisions, never units: every learned clause is implied by the
+    /// problem clauses alone.
+    ///
+    /// ```
+    /// use sat::{Solver, SatResult};
+    ///
+    /// let mut solver = Solver::new();
+    /// let x = solver.new_var().positive();
+    /// let act = solver.new_var().positive();
+    /// solver.add_clause([!act, x]); // obligation "x" guarded by `act`
+    /// assert!(solver.solve_with_assumptions(&[act, !x]).is_unsat());
+    /// solver.add_clause([!act]);    // retire the obligation ...
+    /// assert!(solver.solve_with_assumptions(&[!x]).is_sat()); // ... gone
+    /// ```
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
         if !self.ok {
             return SatResult::Unsat;
+        }
+        if self.interrupted() {
+            return SatResult::Unknown;
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {
@@ -650,6 +774,9 @@ impl Solver {
                     if self.stats.conflicts - conflict_start >= limit {
                         return SearchOutcome::LimitReached;
                     }
+                }
+                if self.interrupted() {
+                    return SearchOutcome::LimitReached;
                 }
                 if self.num_learnts > self.max_learnts {
                     self.reduce_db();
@@ -925,6 +1052,73 @@ mod tests {
         s.add_clause([!v[1], v[2]]);
         let _ = s.solve();
         assert!(s.stats().decisions > 0 || s.stats().propagations > 0);
+    }
+
+    fn pigeonhole(n: usize, m: usize) -> Solver {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for pigeon in &p {
+            s.add_clause(pigeon.iter().copied());
+        }
+        for hole in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause([!p[a][hole], !p[b][hole]]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn raised_interrupt_yields_unknown_and_is_recoverable() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let mut s = pigeonhole(7, 6);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Some(flag.clone()));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        // Clearing the flag makes the same solver usable again.
+        flag.store(false, Ordering::Relaxed);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn stats_delta_isolates_one_call() {
+        let mut s = pigeonhole(5, 4);
+        let before = s.stats();
+        assert!(s.solve().is_unsat());
+        let spent = s.stats().delta_since(&before);
+        assert!(spent.conflicts > 0);
+        assert_eq!(spent.conflicts, s.stats().conflicts - before.conflicts);
+        // A second snapshot right away spends nothing.
+        let before = s.stats();
+        let spent = s.stats().delta_since(&before);
+        assert_eq!(spent.conflicts, 0);
+        assert_eq!(spent.decisions, 0);
+    }
+
+    #[test]
+    fn activation_literals_retire_obligations() {
+        let mut s = Solver::new();
+        let x = lits(&mut s, 1)[0];
+        let act1 = s.new_var().positive();
+        let act2 = s.new_var().positive();
+        s.add_clause([!act1, x]);
+        s.add_clause([!act2, !x]);
+        // Both obligations active at once: contradiction.
+        assert!(s.solve_with_assumptions(&[act1, act2]).is_unsat());
+        // Individually each is fine.
+        assert!(s.solve_with_assumptions(&[act1]).is_sat());
+        assert!(s.solve_with_assumptions(&[act2]).is_sat());
+        // Permanently retire obligation 1; obligation 2 plus x is now the
+        // only constraint set.
+        s.add_clause([!act1]);
+        let r = s.solve_with_assumptions(&[act2]);
+        assert!(r.model().expect("sat").lit_is_true(!x));
     }
 
     #[test]

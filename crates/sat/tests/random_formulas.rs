@@ -1,7 +1,7 @@
-//! Property-based validation of the CDCL solver against a brute-force
-//! reference on random small formulas.
+//! Randomized validation of the CDCL solver against a brute-force reference
+//! on small formulas, generated deterministically with [`rtl::SplitMix64`].
 
-use proptest::prelude::*;
+use rtl::SplitMix64;
 use sat::{CnfFormula, Lit, SatResult, Solver, Var};
 
 /// Brute-force satisfiability check for formulas with at most 16 variables.
@@ -25,30 +25,27 @@ fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
     false
 }
 
-fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<Lit>> {
-    prop::collection::vec((0..num_vars, prop::bool::ANY), 1..=3).prop_map(|lits| {
-        lits.into_iter()
-            .map(|(v, pos)| Lit::new(Var::from_index(v), pos))
-            .collect()
-    })
+fn random_clause(rng: &mut SplitMix64, num_vars: usize) -> Vec<Lit> {
+    let len = rng.gen_range(1..=3) as usize;
+    (0..len)
+        .map(|_| {
+            let v = rng.gen_u64_below(num_vars as u64) as usize;
+            Lit::new(Var::from_index(v), rng.gen_bool())
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The solver agrees with brute force on random 3-SAT-ish formulas, and
-    /// the models it returns satisfy every clause.
-    #[test]
-    fn solver_agrees_with_brute_force(
-        num_vars in 3usize..9,
-        clauses in prop::collection::vec(clause_strategy(8), 1..24)
-    ) {
-        let clauses: Vec<Vec<Lit>> = clauses
-            .into_iter()
-            .map(|c| c.into_iter().filter(|l| l.var().index() < num_vars).collect::<Vec<_>>())
-            .filter(|c: &Vec<Lit>| !c.is_empty())
+/// The solver agrees with brute force on random 3-SAT-ish formulas, and the
+/// models it returns satisfy every clause.
+#[test]
+fn solver_agrees_with_brute_force() {
+    let mut rng = SplitMix64::new(0x5a7);
+    for case in 0..64 {
+        let num_vars = rng.gen_range(3..9) as usize;
+        let num_clauses = rng.gen_range(1..24) as usize;
+        let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+            .map(|_| random_clause(&mut rng, num_vars))
             .collect();
-        prop_assume!(!clauses.is_empty());
 
         let mut solver = Solver::new();
         solver.reserve_vars(num_vars);
@@ -58,28 +55,35 @@ proptest! {
         let expected = brute_force_sat(num_vars, &clauses);
         match solver.solve() {
             SatResult::Sat(model) => {
-                prop_assert!(expected, "solver said sat, brute force says unsat");
+                assert!(expected, "case {case}: solver sat, brute force unsat");
                 for clause in &clauses {
-                    prop_assert!(
+                    assert!(
                         clause.iter().any(|&l| model.lit_is_true(l)),
-                        "model does not satisfy {clause:?}"
+                        "case {case}: model does not satisfy {clause:?}"
                     );
                 }
             }
-            SatResult::Unsat => prop_assert!(!expected, "solver said unsat, brute force says sat"),
-            SatResult::Unknown => prop_assert!(false, "no limit was set, Unknown is impossible"),
+            SatResult::Unsat => {
+                assert!(!expected, "case {case}: solver unsat, brute force sat")
+            }
+            SatResult::Unknown => panic!("no limit was set, Unknown is impossible"),
         }
     }
+}
 
-    /// DIMACS export/import is an exact round trip.
-    #[test]
-    fn dimacs_roundtrip(num_vars in 1usize..8, clauses in prop::collection::vec(clause_strategy(7), 0..12)) {
+/// DIMACS export/import is an exact round trip.
+#[test]
+fn dimacs_roundtrip() {
+    let mut rng = SplitMix64::new(0xd1_3ac5);
+    for _ in 0..64 {
+        let num_vars = rng.gen_range(1..8) as usize;
+        let num_clauses = rng.gen_range(0..12) as usize;
         let mut cnf = CnfFormula::new();
         cnf.reserve_vars(num_vars.max(8));
-        for clause in &clauses {
-            cnf.add_clause(clause.iter().copied());
+        for _ in 0..num_clauses {
+            cnf.add_clause(random_clause(&mut rng, 7).into_iter());
         }
         let parsed = CnfFormula::from_dimacs(&cnf.to_dimacs()).expect("well-formed output");
-        prop_assert_eq!(parsed, cnf);
+        assert_eq!(parsed, cnf);
     }
 }

@@ -75,6 +75,15 @@ pub struct SocInstance {
     /// The MEM/WB stage cannot architecturally commit — blocking condition
     /// for P-alerts in MEM/WB registers.
     pub mem_wb_blocked: SignalId,
+    /// Stricter blocking condition for the EX/MEM *fault flag*: the stage is
+    /// invalid or an older instruction's WB exception is flushing. Unlike
+    /// [`SocInstance::ex_mem_blocked`], the stage's own fault does not count
+    /// (the fault bit itself is the tolerated difference).
+    pub ex_mem_fault_blocked: SignalId,
+    /// Stricter blocking condition for the MEM/WB *fault flag*: the stage is
+    /// invalid. A valid stage's fault bit decides which trap is taken and
+    /// must never differ.
+    pub mem_wb_fault_blocked: SignalId,
     /// A trap is architecturally taken this cycle (not stalled).
     pub trap_taken: SignalId,
 
@@ -343,8 +352,14 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
     // Register file read with a WB→ID bypass so values written this cycle are
     // visible to the instruction being decoded.
     let wb_reg_write = {
-        let no_fault = n.not(mem_wb_fault.value());
-        n.and_all([mem_wb_valid.value(), mem_wb_writes_rd.value(), no_fault])
+        // An instruction that raises any exception in WB — its own fault or
+        // an mret attempted from user mode — must not commit its destination
+        // register. Gating on `wb_exception` (which subsumes the own-fault
+        // case for valid instructions) closes a hole where a trapping
+        // user-mode mret with a (symbolically possible) rd-write still
+        // updated the register file.
+        let no_exception = n.not(wb_exception);
+        n.and_all([mem_wb_valid.value(), mem_wb_writes_rd.value(), no_exception])
     };
     let read_reg = |n: &mut Netlist, field: SignalId| -> SignalId {
         let sel = n.slice(field, reg_bits - 1, 0);
@@ -354,11 +369,15 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
             let is_i = n.eq_lit(sel, idx);
             value = n.mux(is_i, reg.value(), value);
         }
-        // WB bypass.
+        // WB bypass. The x0-exclusion must use the same truncated index as
+        // the comparison: with fewer than 32 registers, a high rs field
+        // aliases onto a low register (x16 ≡ x0 for a 4-register file), and
+        // checking the full 5-bit field here would bypass a value into the
+        // hardwired-zero register.
         let wb_sel = n.slice(mem_wb_rd.value(), reg_bits - 1, 0);
         let same = n.eq(wb_sel, sel);
         let field_nonzero = {
-            let z = n.eq_lit(field, 0);
+            let z = n.eq_lit(sel, 0);
             n.not(z)
         };
         let bypass = n.and_all([wb_reg_write, same, field_nonzero]);
@@ -375,8 +394,13 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
     // Forwarding from EX/MEM and MEM/WB.
     let forward = |n: &mut Netlist, rs: SignalId, id_value: SignalId| -> (SignalId, SignalId) {
         let rs_low = n.slice(rs, reg_bits - 1, 0);
+        // The x0-exclusion uses the truncated index, consistent with the
+        // `rs_low`/`rd_low` match and the register file's own selection: a
+        // high rs field aliases onto a low register when the file has fewer
+        // than 32 entries, and x0 must never be forwarded — the closure
+        // proofs rely on "rd = x0" implying no forwarding path.
         let rs_nonzero = {
-            let z = n.eq_lit(rs, 0);
+            let z = n.eq_lit(rs_low, 0);
             n.not(z)
         };
         let mem_rd_low = n.slice(ex_mem_rd.value(), reg_bits - 1, 0);
@@ -809,25 +833,56 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
         n.and_all([a0_ok, a1_ok, cfg0_ok, cfg1_ok])
     };
 
-    // Pipeline monitor: `replay_done` is only ever set in the cycle right
-    // after a replay stall, during which the EX/MEM stage received a bubble.
-    // This is an inductive invariant of the design; assuming it excludes
-    // unreachable symbolic initial states (paper Sec. V-A).
+    // Pipeline monitor — inductive invariants of the design; assuming them
+    // excludes unreachable symbolic initial states (paper Sec. V-A):
+    //
+    // 1. `replay_done` is only ever set in the cycle right after a replay
+    //    stall, during which the EX/MEM stage received a bubble.
+    // 2. The decoder always sets `uses_imm` for memory operations (their
+    //    addresses are `rs1 + imm`), so a valid EX-stage memory op never
+    //    computes its address from rs2. Without this, a symbolic "load
+    //    addressed by rs2" would sidestep the replay buffer (which guards
+    //    rs1 forwarding only) and break the P-alert closure proofs.
     let pipeline_monitor_valid = {
-        let bad = n.and(replay_done.value(), ex_mem_valid.value());
+        let bad_replay = n.and(replay_done.value(), ex_mem_valid.value());
+        let bad_mem_addressing = {
+            let mem_op = n.or(id_ex_is_load.value(), id_ex_is_store.value());
+            let no_imm = n.not(id_ex_uses_imm.value());
+            n.and_all([id_ex_valid.value(), mem_op, no_imm])
+        };
+        let bad = n.or(bad_replay, bad_mem_addressing);
         n.not(bad)
     };
 
     // Blocking conditions for the inductive P-alert closure proofs.
     let ex_mem_blocked = {
         let invalid = n.not(ex_mem_valid.value());
-        let faulted = ex_mem_fault.value();
-        n.or_all([invalid, faulted, wb_exception])
+        // Only a *load* can capture secret-dependent data while faulting
+        // (the cache-hit capture of paper Table I's first P-alert); any
+        // other instruction with a differing result is either invalid or
+        // shadowed by an older instruction's WB exception one stage ahead.
+        // Keeping the own-fault excuse this narrow is what lets the
+        // inductive closure proof rule out unreachable "faulting ALU op
+        // with secret-dependent result" states.
+        let faulted_load = n.and(ex_mem_fault.value(), ex_mem_is_load.value());
+        n.or_all([invalid, faulted_load, wb_exception])
     };
     let mem_wb_blocked = {
         let invalid = n.not(mem_wb_valid.value());
         n.or(invalid, wb_exception)
     };
+    // Fault flags need stricter blocking than data fields: a differing fault
+    // bit selects *which* trap is taken (it feeds `mcause`/`wb_exception`),
+    // so it is only harmless while the stage cannot raise an exception at
+    // all — when the stage is invalid, or (for EX/MEM) when an older
+    // instruction's WB exception is already flushing the pipeline. The
+    // stage's own `faulted` term must NOT count: that is exactly the
+    // difference being tolerated.
+    let ex_mem_fault_blocked = {
+        let invalid = n.not(ex_mem_valid.value());
+        n.or(invalid, wb_exception)
+    };
+    let mem_wb_fault_blocked = n.not(mem_wb_valid.value());
 
     // ------------------------------------------------------------------
     // Outputs
@@ -936,6 +991,8 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
         global_stall,
         ex_mem_blocked,
         mem_wb_blocked,
+        ex_mem_fault_blocked,
+        mem_wb_fault_blocked,
         trap_taken,
         pc: pc.value(),
         mode: mode.value(),

@@ -1,43 +1,66 @@
-//! Property-based co-simulation: the RTL SoC and the ISA-level golden model
-//! must agree on the architectural state reached by arbitrary fault-free
-//! programs, for every design variant (the variants only differ in covert
-//! timing/state side effects, never in architectural results).
+//! Randomized co-simulation: the RTL SoC and the ISA-level golden model must
+//! agree on the architectural state reached by arbitrary fault-free programs,
+//! for every design variant (the variants only differ in covert timing/state
+//! side effects, never in architectural results).
 
-use proptest::prelude::*;
+use rtl::SplitMix64;
 use soc::{Instruction, Program, SocConfig, SocSim, SocVariant};
 
-fn instruction_strategy() -> impl Strategy<Value = Instruction> {
-    let reg = 0u32..8;
-    prop_oneof![
-        (reg.clone(), reg.clone(), -512i32..512).prop_map(|(rd, rs1, imm)| Instruction::Addi { rd, rs1, imm }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rs1, rs2)| Instruction::Add { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rs1, rs2)| Instruction::Sub { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rs1, rs2)| Instruction::Xor { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rs1, rs2)| Instruction::Or { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rs1, rs2)| Instruction::And { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rs1, rs2)| Instruction::Sltu { rd, rs1, rs2 }),
-        (reg.clone(), reg.clone(), 0i32..256).prop_map(|(rd, rs1, imm)| Instruction::Andi { rd, rs1, imm }),
+fn random_instruction(rng: &mut SplitMix64) -> Instruction {
+    let rd = rng.gen_range(0..8) as u32;
+    let rs1 = rng.gen_range(0..8) as u32;
+    let rs2 = rng.gen_range(0..8) as u32;
+    match rng.gen_range(0..10) {
+        0 => Instruction::Addi {
+            rd,
+            rs1,
+            imm: rng.gen_range(-512..512) as i32,
+        },
+        1 => Instruction::Add { rd, rs1, rs2 },
+        2 => Instruction::Sub { rd, rs1, rs2 },
+        3 => Instruction::Xor { rd, rs1, rs2 },
+        4 => Instruction::Or { rd, rs1, rs2 },
+        5 => Instruction::And { rd, rs1, rs2 },
+        6 => Instruction::Sltu { rd, rs1, rs2 },
+        7 => Instruction::Andi {
+            rd,
+            rs1,
+            imm: rng.gen_range(0..256) as i32,
+        },
         // Loads/stores through x1, which every generated program points at a
         // small scratch array, with word-aligned offsets.
-        (reg.clone(), 0i32..4).prop_map(|(rd, o)| Instruction::Lw { rd, rs1: 1, offset: o * 4 }),
-        (reg, 0i32..4).prop_map(|(rs2, o)| Instruction::Sw { rs1: 1, rs2, offset: o * 4 }),
-    ]
+        8 => Instruction::Lw {
+            rd,
+            rs1: 1,
+            offset: 4 * rng.gen_range(0..4) as i32,
+        },
+        _ => Instruction::Sw {
+            rs1: 1,
+            rs2,
+            offset: 4 * rng.gen_range(0..4) as i32,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn rtl_matches_golden_model(
-        body in prop::collection::vec(instruction_strategy(), 1..20),
-        variant_index in 0usize..3,
-    ) {
-        let variant = [SocVariant::Secure, SocVariant::Orc, SocVariant::MeltdownStyle][variant_index];
+#[test]
+fn rtl_matches_golden_model() {
+    let mut rng = SplitMix64::new(0xc051);
+    for case in 0..24 {
+        let variant = [
+            SocVariant::Secure,
+            SocVariant::Orc,
+            SocVariant::MeltdownStyle,
+        ][case % 3];
         let config = SocConfig::new(variant);
+        let len = rng.gen_range(1..20) as usize;
         let mut program = Program::new(0);
-        program.push(Instruction::Addi { rd: 1, rs1: 0, imm: 0x40 });
-        for instruction in &body {
-            program.push(*instruction);
+        program.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 0x40,
+        });
+        for _ in 0..len {
+            program.push(random_instruction(&mut rng));
         }
         program.push_nops(4);
 
@@ -48,19 +71,21 @@ proptest! {
         golden.run(&program, &config, 4 * program.len());
 
         for r in 1..config.num_registers {
-            prop_assert_eq!(
+            assert_eq!(
                 sim.reg(r),
                 golden.regs[r as usize],
-                "x{} mismatch on {:?}\n{}",
-                r,
-                variant,
+                "case {case}: x{r} mismatch on {variant:?}\n{}",
                 program.listing()
             );
         }
         // Memory written through the scratch array must agree too.
         for offset in 0..4u32 {
             let addr = 0x40 + 4 * offset;
-            prop_assert_eq!(sim.load_word(addr), golden.load_word(addr), "mem[{:#x}]", addr);
+            assert_eq!(
+                sim.load_word(addr),
+                golden.load_word(addr),
+                "case {case}: mem[{addr:#x}]"
+            );
         }
     }
 }

@@ -91,6 +91,7 @@ fn meltdown_style_cache_footprint_depends_on_the_secret() {
 
 /// UPEC separates the secure design from all three vulnerable variants.
 #[test]
+#[ignore = "multi-minute SAT proofs (windows up to 4 on three variants); run with --ignored"]
 fn upec_methodology_classifies_all_design_variants() {
     // Secure design, secret not cached: proven with no alerts.
     let model = UpecModel::new(&formal_config(SocVariant::Secure), SecretScenario::NotInCache);
@@ -134,6 +135,7 @@ fn upec_methodology_classifies_all_design_variants() {
 /// The PMP TOR-lock bug (paper Sec. VII-C) is detected as a direct
 /// architectural leak, while the correct lock implementation is not.
 #[test]
+#[ignore = "the leak needs a seven-cycle window; the proof takes minutes on one core; run with --ignored"]
 fn pmp_lock_bug_is_detected_as_an_l_alert() {
     let checker = UpecChecker::new();
     let buggy = UpecModel::new(&formal_config(SocVariant::PmpLockBug), SecretScenario::InCache);
@@ -159,19 +161,19 @@ fn pmp_lock_bug_is_detected_as_an_l_alert() {
 /// model reach the same architectural state.
 #[test]
 fn random_programs_cosimulate_against_the_golden_model() {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use rtl::SplitMix64;
     let config = SocConfig::new(SocVariant::Secure);
-    let mut rng = StdRng::seed_from_u64(2024);
+    let mut rng = SplitMix64::new(2024);
     for trial in 0..8 {
         let mut p = Program::new(0);
         // Seed registers with small values and a valid pointer.
         p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 0x40 });
-        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: rng.gen_range(0..100) });
-        p.push(Instruction::Addi { rd: 3, rs1: 0, imm: rng.gen_range(0..100) });
+        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: rng.gen_range(0..100) as i32 });
+        p.push(Instruction::Addi { rd: 3, rs1: 0, imm: rng.gen_range(0..100) as i32 });
         for _ in 0..12 {
-            let rd = rng.gen_range(2..8);
-            let rs1 = rng.gen_range(0..8);
-            let rs2 = rng.gen_range(0..8);
+            let rd = rng.gen_range(2..8) as u32;
+            let rs1 = rng.gen_range(0..8) as u32;
+            let rs2 = rng.gen_range(0..8) as u32;
             let choice = rng.gen_range(0..8);
             let ins = match choice {
                 0 => Instruction::Add { rd, rs1, rs2 },
@@ -179,9 +181,9 @@ fn random_programs_cosimulate_against_the_golden_model() {
                 2 => Instruction::Xor { rd, rs1, rs2 },
                 3 => Instruction::Or { rd, rs1, rs2 },
                 4 => Instruction::Sltu { rd, rs1, rs2 },
-                5 => Instruction::Addi { rd, rs1, imm: rng.gen_range(-64..64) },
-                6 => Instruction::Sw { rs1: 1, rs2, offset: 4 * rng.gen_range(0..4) },
-                _ => Instruction::Lw { rd, rs1: 1, offset: 4 * rng.gen_range(0..4) },
+                5 => Instruction::Addi { rd, rs1, imm: rng.gen_range(-64..64) as i32 },
+                6 => Instruction::Sw { rs1: 1, rs2, offset: 4 * rng.gen_range(0..4) as i32 },
+                _ => Instruction::Lw { rd, rs1: 1, offset: 4 * rng.gen_range(0..4) as i32 },
             };
             p.push(ins);
         }
