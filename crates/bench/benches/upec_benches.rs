@@ -34,7 +34,10 @@ fn bench(filters: &[String], group: &str, name: &str, iterations: u32, mut f: im
 }
 
 fn main() {
-    let filters: Vec<String> = std::env::args().skip(1).filter(|a| a != "--bench").collect();
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--bench")
+        .collect();
 
     // Table I: the methodology run on the secure design, both scenarios.
     for (label, scenario) in [
@@ -111,11 +114,23 @@ fn main() {
     {
         let model = UpecModel::new(&formal_config(SocVariant::Orc), SecretScenario::InCache);
         let checker = UpecChecker::new();
-        bench(&filters, "ablation_symbolic_init", "ipc_symbolic", 1, || {
-            checker.check_architectural(&model, UpecOptions::window(3));
-        });
-        bench(&filters, "ablation_symbolic_init", "bmc_from_reset", 1, || {
-            checker.check_architectural(&model, UpecOptions::window(3).from_reset());
-        });
+        bench(
+            &filters,
+            "ablation_symbolic_init",
+            "ipc_symbolic",
+            1,
+            || {
+                checker.check_architectural(&model, UpecOptions::window(3));
+            },
+        );
+        bench(
+            &filters,
+            "ablation_symbolic_init",
+            "bmc_from_reset",
+            1,
+            || {
+                checker.check_architectural(&model, UpecOptions::window(3).from_reset());
+            },
+        );
     }
 }

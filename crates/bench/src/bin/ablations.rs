@@ -21,8 +21,13 @@ fn main() {
     let checker = UpecChecker::new();
 
     println!("Ablation 1 — symbolic initial state (IPC) vs reset-state BMC, Orc variant");
-    println!("{:>8} {:>18} {:>18}", "window", "IPC (any state)", "BMC (from reset)");
-    let model = scenarios::by_id("orc").expect("registered scenario").build_model();
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "window", "IPC (any state)", "BMC (from reset)"
+    );
+    let model = scenarios::by_id("orc")
+        .expect("registered scenario")
+        .build_model();
     for k in 1..=6 {
         let ipc = checker.check_architectural(&model, UpecOptions::window(k));
         let bmc = checker.check_architectural(&model, UpecOptions::window(k).from_reset());
@@ -41,8 +46,13 @@ fn main() {
     println!("reset-state check never observes the covert channel at these depths.)\n");
 
     println!("Ablation 2 — proof effort vs window length, secure design, D in cache");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "window", "variables", "clauses", "conflicts", "runtime");
-    let model = scenarios::by_id("secure-cached").expect("registered scenario").build_model();
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "window", "variables", "clauses", "conflicts", "runtime"
+    );
+    let model = scenarios::by_id("secure-cached")
+        .expect("registered scenario")
+        .build_model();
     for k in 1..=5 {
         let outcome = checker.check_architectural(&model, UpecOptions::window(k));
         let s = outcome.stats();
@@ -57,7 +67,10 @@ fn main() {
     println!();
 
     println!("Ablation 3 — proof effort vs design size (window 2, secure design)");
-    println!("{:>22} {:>12} {:>12} {:>12}", "configuration", "variables", "clauses", "runtime");
+    println!(
+        "{:>22} {:>12} {:>12} {:>12}",
+        "configuration", "variables", "clauses", "runtime"
+    );
     for (regs, lines) in [(4u32, 2u32), (4, 4), (8, 4), (8, 8)] {
         let config = SocConfig::new(SocVariant::Secure)
             .with_registers(regs)

@@ -1,0 +1,180 @@
+//! Measures what the transition-relation compiler buys: encoded-CNF size
+//! and solve time of UPEC queries with the compiler enabled (cone-of-
+//! influence pruning + structural hashing + lazy per-frame encoding) versus
+//! the eager pre-compiler baseline, asserting that verdicts are unchanged.
+//!
+//! Results are printed as a table and written to `BENCH_unroll.json` so the
+//! repository's bench trajectory can track encoding size over time.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin compile_stats              # orc at k=2
+//! cargo run --release -p bench --bin compile_stats -- orc meltdown secure-cached
+//! cargo run --release -p bench --bin compile_stats -- --k 3 orc
+//! cargo run --release -p bench --bin compile_stats -- --out /tmp/unroll.json orc
+//! ```
+
+use std::time::Instant;
+use upec::engine::IncrementalSession;
+use upec::scenarios::{self, ScenarioSpec};
+use upec::{UpecOptions, UpecOutcome};
+
+/// One strategy's measurement.
+struct Measurement {
+    variables: usize,
+    clauses: usize,
+    solve_seconds: f64,
+    verdict: &'static str,
+    encoded_slots: usize,
+    scheduled_slots: usize,
+}
+
+fn verdict_name(outcome: &UpecOutcome) -> &'static str {
+    match outcome {
+        UpecOutcome::Proven(_) => "proven",
+        UpecOutcome::Unknown(_) => "unknown",
+        UpecOutcome::Violated(alert, _) => match alert.kind {
+            upec::AlertKind::PAlert => "p-alert",
+            upec::AlertKind::LAlert => "l-alert",
+        },
+    }
+}
+
+fn measure(spec: &ScenarioSpec, k: usize, eager: bool) -> Measurement {
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+    let mut options = UpecOptions::window(k);
+    if eager {
+        options = options.eager();
+    }
+    let mut session = IncrementalSession::with_options(&model, options);
+    let start = Instant::now();
+    let outcome = session.check_bound(k, &commitment);
+    let solve_seconds = start.elapsed().as_secs_f64();
+    let encode = session.encode_stats();
+    Measurement {
+        variables: encode.variables,
+        clauses: encode.clauses,
+        solve_seconds,
+        verdict: verdict_name(&outcome),
+        encoded_slots: encode.encoded_slots,
+        scheduled_slots: encode.scheduled_slots,
+    }
+}
+
+fn json_entry(
+    spec: &ScenarioSpec,
+    k: usize,
+    eager: &Measurement,
+    compiled: &Measurement,
+) -> String {
+    let reduction = reduction_percent(eager, compiled);
+    let strategy = |m: &Measurement| {
+        format!(
+            "{{\"variables\": {}, \"clauses\": {}, \"solve_seconds\": {:.3}, \"verdict\": \"{}\", \"encoded_slots\": {}, \"scheduled_slots\": {}}}",
+            m.variables, m.clauses, m.solve_seconds, m.verdict, m.encoded_slots, m.scheduled_slots
+        )
+    };
+    format!(
+        "    {{\"id\": \"{}\", \"k\": {k}, \"eager\": {}, \"compiled\": {}, \"reduction_percent\": {reduction:.1}}}",
+        spec.id,
+        strategy(eager),
+        strategy(compiled)
+    )
+}
+
+/// Reduction of CNF variables+clauses, in percent of the eager baseline.
+fn reduction_percent(eager: &Measurement, compiled: &Measurement) -> f64 {
+    let before = (eager.variables + eager.clauses) as f64;
+    let after = (compiled.variables + compiled.clauses) as f64;
+    if before == 0.0 {
+        return 0.0;
+    }
+    100.0 * (before - after) / before
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut ids: Vec<String> = Vec::new();
+    let mut k_override: Option<usize> = None;
+    let mut out_path = "BENCH_unroll.json".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--k" => {
+                let parsed = args.next().and_then(|v| v.parse().ok());
+                let Some(k) = parsed else {
+                    eprintln!("--k needs a numeric value");
+                    std::process::exit(2);
+                };
+                k_override = Some(k);
+            }
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                };
+                out_path = path;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("orc".into());
+    }
+
+    println!(
+        "{:<18} {:>2}  {:>10} {:>10} {:>9}   {:>10} {:>10} {:>9}  {:>7}  verdict",
+        "scenario", "k", "vars", "clauses", "solve", "vars'", "clauses'", "solve'", "reduce"
+    );
+    let mut entries = Vec::new();
+    let mut verdicts_match = true;
+    for id in &ids {
+        let spec = scenarios::by_id(id).unwrap_or_else(|| {
+            eprintln!("unknown scenario `{id}`; known ids:");
+            for s in scenarios::registry() {
+                eprintln!("  {}", s.id);
+            }
+            std::process::exit(2);
+        });
+        // Default to the acceptance point k=2, clamped into the scenario's
+        // registered scan range.
+        let k = k_override
+            .unwrap_or(2)
+            .clamp(spec.start_window, spec.max_window);
+        let eager = measure(&spec, k, true);
+        let compiled = measure(&spec, k, false);
+        if eager.verdict != compiled.verdict {
+            verdicts_match = false;
+            eprintln!(
+                "VERDICT MISMATCH on {}: eager={} compiled={}",
+                spec.id, eager.verdict, compiled.verdict
+            );
+        }
+        println!(
+            "{:<18} {:>2}  {:>10} {:>10} {:>8.2}s   {:>10} {:>10} {:>8.2}s  {:>6.1}%  {} / {}",
+            spec.id,
+            k,
+            eager.variables,
+            eager.clauses,
+            eager.solve_seconds,
+            compiled.variables,
+            compiled.clauses,
+            compiled.solve_seconds,
+            reduction_percent(&eager, &compiled),
+            eager.verdict,
+            compiled.verdict,
+        );
+        entries.push(json_entry(&spec, k, &eager, &compiled));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"compile_stats\",\n  \"unit\": \"CNF variables+clauses, seconds\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+    if !verdicts_match {
+        std::process::exit(1);
+    }
+}

@@ -38,8 +38,11 @@ fn main() {
         .filter(|p| p.class != StateClass::Memory)
         .map(|p| (p.signal2, p.signal1))
         .collect();
+    // Eager encoding on purpose: this tool dumps the *complete* miter state
+    // of a counterexample, and the default lazy strategy only assigns
+    // literals to signals the proof obligation reaches.
     let mut unrolling =
-        Unrolling::with_frame0_aliases(model.netlist(), UnrollOptions::default(), &aliases);
+        Unrolling::with_frame0_aliases(model.netlist(), UnrollOptions::default().eager(), &aliases);
     unrolling.extend_to(window);
     for c in model.initial_constraints() {
         unrolling.assume_signal_true(0, c.signal).unwrap();
@@ -79,16 +82,46 @@ fn main() {
                 };
                 dump(&unrolling, "pc", soc1.pc, soc2.pc);
                 dump(&unrolling, "mode", soc1.mode, soc2.mode);
-                dump(&unrolling, "global_stall", soc1.global_stall, soc2.global_stall);
+                dump(
+                    &unrolling,
+                    "global_stall",
+                    soc1.global_stall,
+                    soc2.global_stall,
+                );
                 dump(&unrolling, "flush(wb)", soc1.flush, soc2.flush);
                 dump(&unrolling, "trap_taken", soc1.trap_taken, soc2.trap_taken);
                 dump(&unrolling, "imem_instr", soc1.imem_instr, soc2.imem_instr);
                 dump(&unrolling, "mem_rdata", soc1.mem_rdata, soc2.mem_rdata);
-                dump(&unrolling, "mem_req_valid", soc1.mem_req_valid, soc2.mem_req_valid);
-                dump(&unrolling, "mem_req_addr", soc1.mem_req_addr, soc2.mem_req_addr);
-                dump(&unrolling, "secret_line_present", soc1.secret_line_present, soc2.secret_line_present);
-                dump(&unrolling, "ex_mem_blocked", soc1.ex_mem_blocked, soc2.ex_mem_blocked);
-                dump(&unrolling, "mem_wb_blocked", soc1.mem_wb_blocked, soc2.mem_wb_blocked);
+                dump(
+                    &unrolling,
+                    "mem_req_valid",
+                    soc1.mem_req_valid,
+                    soc2.mem_req_valid,
+                );
+                dump(
+                    &unrolling,
+                    "mem_req_addr",
+                    soc1.mem_req_addr,
+                    soc2.mem_req_addr,
+                );
+                dump(
+                    &unrolling,
+                    "secret_line_present",
+                    soc1.secret_line_present,
+                    soc2.secret_line_present,
+                );
+                dump(
+                    &unrolling,
+                    "ex_mem_blocked",
+                    soc1.ex_mem_blocked,
+                    soc2.ex_mem_blocked,
+                );
+                dump(
+                    &unrolling,
+                    "mem_wb_blocked",
+                    soc1.mem_wb_blocked,
+                    soc2.mem_wb_blocked,
+                );
             }
         }
     }

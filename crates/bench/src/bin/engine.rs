@@ -72,7 +72,10 @@ fn main() {
     } else {
         println!("\nWARNING: some scenarios deviate from their registered expectations:");
         for r in report.results.iter().filter(|r| !r.matches_expectation()) {
-            println!("  {:<18} expected {:?}, got {:?}", r.spec.id, r.spec.expected, r.verdict);
+            println!(
+                "  {:<18} expected {:?}, got {:?}",
+                r.spec.id, r.spec.expected, r.verdict
+            );
         }
         std::process::exit(1);
     }

@@ -14,7 +14,10 @@ fn main() {
     println!("Sec. VII-C — PMP TOR-lock violation\n");
     let checker = UpecChecker::new();
     let pmp = scenarios::by_id("pmp-lock").expect("registered scenario");
-    for spec in [pmp, scenarios::by_id("secure-arch-only").expect("registered scenario")] {
+    for spec in [
+        pmp,
+        scenarios::by_id("secure-arch-only").expect("registered scenario"),
+    ] {
         let model = spec.build_model();
         let mut verdict = "no L-alert up to the window bound".to_string();
         let mut runtime = std::time::Duration::ZERO;
@@ -32,7 +35,11 @@ fn main() {
                 break;
             }
         }
-        println!("{:>14}: {verdict} ({} total solver time)", spec.variant.name(), secs(runtime));
+        println!(
+            "{:>14}: {verdict} ({} total solver time)",
+            spec.variant.name(),
+            secs(runtime)
+        );
     }
     println!("\nShape check vs the paper: the buggy lock implementation lets privileged code");
     println!("move the base of a locked region, after which the 'protected' secret leaks");

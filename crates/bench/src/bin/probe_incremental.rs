@@ -56,7 +56,10 @@ fn main() {
     for k in 1..=3 {
         let t = Instant::now();
         let (sat, conflicts) = old_check(&model, k, &commitment);
-        println!("old  k={k}: sat={sat} conflicts={conflicts} {:?}", t.elapsed());
+        println!(
+            "old  k={k}: sat={sat} conflicts={conflicts} {:?}",
+            t.elapsed()
+        );
     }
 
     for k in 1..=3 {

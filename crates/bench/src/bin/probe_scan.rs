@@ -5,7 +5,13 @@ use std::time::Instant;
 use upec::engine::IncrementalSession;
 use upec::{scenarios, SecretScenario, StateClass, UpecModel};
 
-fn scan(label: &str, model: &UpecModel, commitment: &BTreeSet<String>, max_k: usize, budget_s: u64) {
+fn scan(
+    label: &str,
+    model: &UpecModel,
+    commitment: &BTreeSet<String>,
+    max_k: usize,
+    budget_s: u64,
+) {
     let mut session = IncrementalSession::new(model, None);
     let start = Instant::now();
     for k in 1..=max_k {
@@ -30,7 +36,9 @@ fn scan(label: &str, model: &UpecModel, commitment: &BTreeSet<String>, max_k: us
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_default();
     let arch = |m: &UpecModel| -> BTreeSet<String> {
-        m.pairs_of_class(StateClass::Architectural).map(|p| p.name.clone()).collect()
+        m.pairs_of_class(StateClass::Architectural)
+            .map(|p| p.name.clone())
+            .collect()
     };
 
     if which.is_empty() || which == "meltdown-arch" {
@@ -41,17 +49,35 @@ fn main() {
     if which.is_empty() || which == "meltdown-full" {
         let spec = scenarios::by_id("meltdown").unwrap();
         let model = spec.build_model();
-        scan("meltdown-full", &model, &spec.commitment_set(&model), 3, 120);
+        scan(
+            "meltdown-full",
+            &model,
+            &spec.commitment_set(&model),
+            3,
+            120,
+        );
     }
     if which.is_empty() || which == "cache-footprint" {
         let spec = scenarios::by_id("cache-footprint").unwrap();
         let model = spec.build_model();
-        scan("cache-footprint", &model, &spec.commitment_set(&model), 4, 120);
+        scan(
+            "cache-footprint",
+            &model,
+            &spec.commitment_set(&model),
+            4,
+            120,
+        );
     }
     if which.is_empty() || which == "secure-cached-full" {
         let spec = scenarios::by_id("secure-cached").unwrap();
         let model = spec.build_model();
-        scan("secure-cached-full", &model, &spec.commitment_set(&model), 2, 120);
+        scan(
+            "secure-cached-full",
+            &model,
+            &spec.commitment_set(&model),
+            2,
+            120,
+        );
     }
     if which.is_empty() || which == "secure-arch" {
         let spec = scenarios::by_id("secure-arch-only").unwrap();

@@ -128,8 +128,7 @@ impl CompileStats {
         if self.netlist_signals == 0 {
             return 0.0;
         }
-        100.0 * (self.netlist_signals - self.scheduled_slots) as f64
-            / self.netlist_signals as f64
+        100.0 * (self.netlist_signals - self.scheduled_slots) as f64 / self.netlist_signals as f64
     }
 }
 
@@ -230,9 +229,12 @@ impl CompiledTransition {
                 slot_of[sig.index()].expect("operand slot scheduled before use")
             };
             let new_slot = match node {
-                Node::Input { width, .. } => {
-                    Some(push(&mut ops, &mut widths, CompiledOp::Input { width: *width }, *width))
-                }
+                Node::Input { width, .. } => Some(push(
+                    &mut ops,
+                    &mut widths,
+                    CompiledOp::Input { width: *width },
+                    *width,
+                )),
                 Node::Const(v) => {
                     let key = OpKey::Const(*v);
                     if let Some(&existing) = structural.get(&key) {
@@ -245,7 +247,9 @@ impl CompiledTransition {
                         Some(s)
                     }
                 }
-                Node::Register { register, width, .. } => Some(push(
+                Node::Register {
+                    register, width, ..
+                } => Some(push(
                     &mut ops,
                     &mut widths,
                     CompiledOp::Register {
@@ -319,7 +323,11 @@ impl CompiledTransition {
                                     let s = push(
                                         &mut ops,
                                         &mut widths,
-                                        CompiledOp::Binary { op: *op, a: sa, b: sb },
+                                        CompiledOp::Binary {
+                                            op: *op,
+                                            a: sa,
+                                            b: sb,
+                                        },
                                         width,
                                     );
                                     structural.insert(key, s);
@@ -329,7 +337,9 @@ impl CompiledTransition {
                         }
                     }
                 }
-                Node::Mux { cond, then_, else_, .. } => {
+                Node::Mux {
+                    cond, then_, else_, ..
+                } => {
                     let (c, t, e) = (
                         slot(*cond, &slot_of),
                         slot(*then_, &slot_of),
@@ -356,7 +366,11 @@ impl CompiledTransition {
                                 let s = push(
                                     &mut ops,
                                     &mut widths,
-                                    CompiledOp::Mux { cond: c, then_: t, else_: e },
+                                    CompiledOp::Mux {
+                                        cond: c,
+                                        then_: t,
+                                        else_: e,
+                                    },
                                     width,
                                 );
                                 structural.insert(key, s);
@@ -390,7 +404,11 @@ impl CompiledTransition {
                                 let s = push(
                                     &mut ops,
                                     &mut widths,
-                                    CompiledOp::Slice { a: sa, hi: *hi, lo: *lo },
+                                    CompiledOp::Slice {
+                                        a: sa,
+                                        hi: *hi,
+                                        lo: *lo,
+                                    },
                                     width,
                                 );
                                 structural.insert(key, s);
@@ -522,9 +540,7 @@ fn fold_same_operand(op: BinaryOp, a: u32, width: u32) -> Option<FoldResult> {
         BinaryOp::And | BinaryOp::Or => Some(FoldResult::Alias(a)),
         BinaryOp::Xor | BinaryOp::Sub => Some(FoldResult::Value(BitVec::zero(width))),
         BinaryOp::Eq | BinaryOp::Ule => Some(FoldResult::Value(BitVec::bit(true))),
-        BinaryOp::Ne | BinaryOp::Ult | BinaryOp::Slt => {
-            Some(FoldResult::Value(BitVec::bit(false)))
-        }
+        BinaryOp::Ne | BinaryOp::Ult | BinaryOp::Slt => Some(FoldResult::Value(BitVec::bit(false))),
         BinaryOp::Add | BinaryOp::Shl | BinaryOp::Shr => None,
     }
 }
@@ -628,7 +644,10 @@ mod tests {
         n.output("same", same);
         let ct = CompiledTransition::compile(&n);
         let slot = ct.slot_of(seven).unwrap();
-        assert_eq!(ct.ops()[slot as usize], CompiledOp::Const(BitVec::new(7, 8)));
+        assert_eq!(
+            ct.ops()[slot as usize],
+            CompiledOp::Const(BitVec::new(7, 8))
+        );
         assert_eq!(ct.slot_of(same), ct.slot_of(seven));
         assert!(ct.stats().folded_signals >= 3);
     }

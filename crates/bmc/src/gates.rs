@@ -251,7 +251,10 @@ mod tests {
 
     /// Exhaustively checks a 2-input gate against a reference function by
     /// querying the solver once per input/output combination.
-    fn check_gate2(build: impl Fn(&mut GateBuilder, Lit, Lit) -> Lit, reference: impl Fn(bool, bool) -> bool) {
+    fn check_gate2(
+        build: impl Fn(&mut GateBuilder, Lit, Lit) -> Lit,
+        reference: impl Fn(bool, bool) -> bool,
+    ) {
         for assignment in all_assignments(2) {
             let mut g = GateBuilder::new();
             let a = g.fresh();
@@ -295,7 +298,11 @@ mod tests {
             let t = g.fresh();
             let e = g.fresh();
             let out = g.mux(c, t, e);
-            let expected = if assignment[0] { assignment[1] } else { assignment[2] };
+            let expected = if assignment[0] {
+                assignment[1]
+            } else {
+                assignment[2]
+            };
             let mut assumption = vec![
                 if assignment[0] { c } else { !c },
                 if assignment[1] { t } else { !t },
@@ -304,7 +311,10 @@ mod tests {
             assumption.push(if expected { out } else { !out });
             assert!(g.solver_mut().solve_with_assumptions(&assumption).is_sat());
             *assumption.last_mut().unwrap() = if expected { !out } else { out };
-            assert!(g.solver_mut().solve_with_assumptions(&assumption).is_unsat());
+            assert!(g
+                .solver_mut()
+                .solve_with_assumptions(&assumption)
+                .is_unsat());
         }
     }
 
@@ -345,7 +355,11 @@ mod tests {
             match g.solver_mut().solve_with_assumptions(&assumption) {
                 SatResult::Sat(m) => {
                     assert_eq!(m.lit_is_true(sum), expect_sum, "sum for {assignment:?}");
-                    assert_eq!(m.lit_is_true(carry), expect_carry, "carry for {assignment:?}");
+                    assert_eq!(
+                        m.lit_is_true(carry),
+                        expect_carry,
+                        "carry for {assignment:?}"
+                    );
                 }
                 other => panic!("expected sat, got {other:?}"),
             }

@@ -249,7 +249,13 @@ mod tests {
         let prover = InductionProver::new(UnrollOptions::default());
         let outcome = prover.prove(&n, never_five, &[], 6);
         assert!(
-            matches!(outcome, InductionOutcome::BaseCaseFailed { failing_cycle: 5, .. }),
+            matches!(
+                outcome,
+                InductionOutcome::BaseCaseFailed {
+                    failing_cycle: 5,
+                    ..
+                }
+            ),
             "outcome: {outcome:?}"
         );
     }

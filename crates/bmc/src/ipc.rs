@@ -370,13 +370,17 @@ mod tests {
             .assume(PropertyTerm::at("starts at five", 0, is_five))
             .assume(PropertyTerm::during("held the whole window", 0, 2, hold))
             .prove(PropertyTerm::at("still five", 3, is_five));
-        assert!(IpcEngine::new(UnrollOptions::default()).check(&n, &p).is_proven());
+        assert!(IpcEngine::new(UnrollOptions::default())
+            .check(&n, &p)
+            .is_proven());
 
         // Without the `during` assumption the value can be overwritten.
         let p = IntervalProperty::new("value persists unconditionally", 3)
             .assume(PropertyTerm::at("starts at five", 0, is_five))
             .prove(PropertyTerm::at("still five", 3, is_five));
-        assert!(IpcEngine::new(UnrollOptions::default()).check(&n, &p).is_violated());
+        assert!(IpcEngine::new(UnrollOptions::default())
+            .check(&n, &p)
+            .is_violated());
     }
 
     #[test]
@@ -391,6 +395,9 @@ mod tests {
         let outcome = IpcEngine::new(UnrollOptions::default()).check(&n, &p);
         let cex = outcome.counterexample().expect("violated");
         // s1 always changes to 10 in frame 1 because the input is forced.
-        assert!(cex.changed_registers().contains(&"s1".to_string()) || !cex.changed_registers().is_empty());
+        assert!(
+            cex.changed_registers().contains(&"s1".to_string())
+                || !cex.changed_registers().is_empty()
+        );
     }
 }

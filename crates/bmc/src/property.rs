@@ -152,8 +152,7 @@ mod tests {
         assert_eq!(p.assumptions.len(), 2);
         assert_eq!(p.obligations.len(), 1);
         assert_eq!(p.max_frame(), 4);
-        let p2 = IntervalProperty::new("longer", 2)
-            .prove(PropertyTerm::at("late", 6, s));
+        let p2 = IntervalProperty::new("longer", 2).prove(PropertyTerm::at("late", 6, s));
         assert_eq!(p2.max_frame(), 6);
     }
 }

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Options controlling how a netlist is unrolled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UnrollOptions {
     /// When `true`, registers that declare an initial value start there in
     /// frame 0. When `false` every register starts fully *symbolic*, which is
@@ -34,16 +34,6 @@ pub struct UnrollOptions {
     /// netlist signal in every frame (the pre-compiler baseline). Used by
     /// benchmarks and differential tests; real proofs keep this `false`.
     pub eager_encoding: bool,
-}
-
-impl Default for UnrollOptions {
-    fn default() -> Self {
-        Self {
-            use_initial_values: false,
-            conflict_limit: None,
-            eager_encoding: false,
-        }
-    }
 }
 
 impl UnrollOptions {
@@ -187,10 +177,16 @@ impl std::fmt::Display for UnrollError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UnrollError::NotABit { signal, width } => {
-                write!(f, "signal {signal} is {width} bits wide, expected a single bit")
+                write!(
+                    f,
+                    "signal {signal} is {width} bits wide, expected a single bit"
+                )
             }
             UnrollError::WidthMismatch { left, right } => {
-                write!(f, "width mismatch between constrained signals: {left} vs {right}")
+                write!(
+                    f,
+                    "width mismatch between constrained signals: {left} vs {right}"
+                )
             }
             UnrollError::FrameOutOfRange { frame, built } => {
                 write!(f, "frame {frame} not built yet (only {built} frames exist)")
@@ -443,7 +439,9 @@ impl<'n> Unrolling<'n> {
         match self.netlist.node(id) {
             Node::Input { width, .. } => self.fresh_word(*width),
             Node::Const(v) => self.const_word(*v),
-            Node::Register { register, width, .. } => {
+            Node::Register {
+                register, width, ..
+            } => {
                 let info = &self.netlist.registers()[register.index()];
                 if t == 0 {
                     if let Some(&source) = self.frame0_aliases.get(&id.index()) {
@@ -534,9 +532,7 @@ impl<'n> Unrolling<'n> {
 
     fn slot_lits(&self, frame: usize, slot: u32) -> Option<&[Lit]> {
         match &self.backend {
-            Backend::Compiled { frames, .. } => {
-                frames[frame][slot as usize].as_deref()
-            }
+            Backend::Compiled { frames, .. } => frames[frame][slot as usize].as_deref(),
             Backend::Eager { .. } => unreachable!("slot access on eager backend"),
         }
     }
@@ -595,12 +591,14 @@ impl<'n> Unrolling<'n> {
                 if frame == 0 {
                     let info = &self.netlist.registers()[register.index()];
                     if let Some(&source) = self.frame0_aliases.get(&info.signal.index()) {
-                        let source_slot = transition
-                            .slot_of(source)
-                            .expect("alias source scheduled");
+                        let source_slot =
+                            transition.slot_of(source).expect("alias source scheduled");
                         return word(self, 0, source_slot);
                     }
-                    match (self.options.use_initial_values, transition.init_value(*register)) {
+                    match (
+                        self.options.use_initial_values,
+                        transition.init_value(*register),
+                    ) {
                         (true, Some(init)) => self.const_word(init),
                         _ => self.fresh_word(*width),
                     }
@@ -831,10 +829,7 @@ impl<'n> Unrolling<'n> {
                     .slot_of(signal)
                     .ok_or(UnrollError::NotInSchedule { signal })?;
                 self.ensure_slot(frame, slot);
-                Ok(self
-                    .slot_lits(frame, slot)
-                    .expect("just encoded")
-                    .to_vec())
+                Ok(self.slot_lits(frame, slot).expect("just encoded").to_vec())
             }
         }
     }
@@ -879,7 +874,11 @@ impl<'n> Unrolling<'n> {
     ///
     /// Returns an error if the signal is not a single bit or the frame is not
     /// built.
-    pub fn assume_signal_true(&mut self, frame: usize, signal: SignalId) -> Result<(), UnrollError> {
+    pub fn assume_signal_true(
+        &mut self,
+        frame: usize,
+        signal: SignalId,
+    ) -> Result<(), UnrollError> {
         let lit = self.bit_lit(frame, signal)?;
         self.gates.assert_true(lit);
         Ok(())
@@ -891,7 +890,11 @@ impl<'n> Unrolling<'n> {
     ///
     /// Returns an error if the signal is not a single bit or the frame is not
     /// built.
-    pub fn assume_signal_false(&mut self, frame: usize, signal: SignalId) -> Result<(), UnrollError> {
+    pub fn assume_signal_false(
+        &mut self,
+        frame: usize,
+        signal: SignalId,
+    ) -> Result<(), UnrollError> {
         let lit = self.bit_lit(frame, signal)?;
         self.gates.assert_true(!lit);
         Ok(())
@@ -1222,10 +1225,7 @@ mod tests {
         let b = n.input("b", 2);
         n.output("a", a);
         let mut u = Unrolling::new(&n, UnrollOptions::default());
-        assert!(matches!(
-            u.bit_lit(0, a),
-            Err(UnrollError::NotABit { .. })
-        ));
+        assert!(matches!(u.bit_lit(0, a), Err(UnrollError::NotABit { .. })));
         assert!(matches!(
             u.assume_signals_equal(0, a, b),
             Err(UnrollError::WidthMismatch { .. })
@@ -1335,8 +1335,7 @@ mod tests {
         n.output("differ", differ);
 
         for options in [UnrollOptions::default(), UnrollOptions::default().eager()] {
-            let mut u =
-                Unrolling::with_frame0_aliases(&n, options, &[(r2.value(), r1.value())]);
+            let mut u = Unrolling::with_frame0_aliases(&n, options, &[(r2.value(), r1.value())]);
             u.extend_to(1);
             // Registers start structurally equal and step identically, so
             // they can never differ at frame 1.

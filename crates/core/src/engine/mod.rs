@@ -24,7 +24,6 @@ mod scheduler;
 mod session;
 
 pub use scheduler::{
-    BoundStatus, BoundSummary, EngineOptions, EngineReport, ScanVerdict, ScenarioResult,
-    UpecEngine,
+    BoundStatus, BoundSummary, EngineOptions, EngineReport, ScanVerdict, ScenarioResult, UpecEngine,
 };
 pub use session::IncrementalSession;

@@ -95,6 +95,10 @@ pub struct BoundSummary {
     pub conflicts: u64,
     /// Wall-clock time of this bound's query.
     pub runtime: Duration,
+    /// Encoded CNF variables in the session when this bound finished.
+    pub variables: usize,
+    /// Encoded CNF problem clauses in the session when this bound finished.
+    pub clauses: usize,
 }
 
 /// Aggregate verdict of one scenario scan.
@@ -140,18 +144,36 @@ impl ScenarioResult {
         )
     }
 
+    /// Encoded CNF size at the deepest completed bound: `(variables,
+    /// clauses)`. Sessions encode incrementally, so the deepest bound holds
+    /// the session's final (largest) encoding.
+    pub fn peak_cnf(&self) -> (usize, usize) {
+        self.bounds
+            .iter()
+            .map(|b| (b.variables, b.clauses))
+            .max()
+            .unwrap_or((0, 0))
+    }
+
+    /// Total query wall time across all completed bounds.
+    pub fn query_time(&self) -> Duration {
+        self.bounds.iter().map(|b| b.runtime).sum()
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         let alert = match &self.first_alert {
             Some(a) => format!(", first alert ({:?}) at k={}", a.kind, a.window),
             None => String::new(),
         };
+        let (vars, clauses) = self.peak_cnf();
         format!(
-            "{:<18} {:?}{alert} [{} bounds, {} conflicts]",
+            "{:<18} {:?}{alert} [{} bounds, {} conflicts, {vars} vars / {clauses} clauses, {:.2?} solve]",
             self.spec.id,
             self.verdict,
             self.bounds.len(),
-            self.conflicts
+            self.conflicts,
+            self.query_time()
         )
     }
 }
@@ -318,11 +340,14 @@ impl UpecEngine {
         let mut session = IncrementalSession::new(&model, self.options.conflict_limit);
         session.set_interrupt(Some(cancel.clone()));
         let commitment = spec.commitment_set(&model);
+        // Honor the cap strictly: a cap below the scenario's start window
+        // yields an empty scan (reported as Inconclusive) rather than
+        // silently running the scenario's cheapest — possibly still
+        // multi-minute — bound.
         let max = self
             .options
             .max_window
-            .map_or(spec.max_window, |m| m.min(spec.max_window))
-            .max(spec.start_window);
+            .map_or(spec.max_window, |m| m.min(spec.max_window));
         let mut bounds = Vec::new();
         let mut first_alert: Option<Alert> = None;
         for k in (spec.start_window..=max).filter(|k| (k - spec.start_window) % stride == stripe) {
@@ -332,18 +357,20 @@ impl UpecEngine {
                     status: BoundStatus::Cancelled,
                     conflicts: 0,
                     runtime: Duration::ZERO,
+                    variables: 0,
+                    clauses: 0,
                 });
                 continue;
             }
-            let (status, conflicts, runtime) = match session.check_bound(k, &commitment) {
-                UpecOutcome::Proven(s) => (BoundStatus::Proven, s.conflicts, s.runtime),
+            let (status, stats) = match session.check_bound(k, &commitment) {
+                UpecOutcome::Proven(s) => (BoundStatus::Proven, s),
                 UpecOutcome::Unknown(s) => {
                     let status = if cancel.load(Ordering::Relaxed) {
                         BoundStatus::Cancelled
                     } else {
                         BoundStatus::Unknown
                     };
-                    (status, s.conflicts, s.runtime)
+                    (status, s)
                 }
                 UpecOutcome::Violated(alert, s) => {
                     let status = match alert.kind {
@@ -359,14 +386,16 @@ impl UpecEngine {
                         // remaining work everywhere.
                         cancel.store(true, Ordering::Relaxed);
                     }
-                    (status, s.conflicts, s.runtime)
+                    (status, s)
                 }
             };
             bounds.push(BoundSummary {
                 bound: k,
                 status,
-                conflicts,
-                runtime,
+                conflicts: stats.conflicts,
+                runtime: stats.runtime,
+                variables: stats.variables,
+                clauses: stats.clauses,
             });
             if status == BoundStatus::LAlert {
                 break;
@@ -403,7 +432,11 @@ fn aggregate(spec: ScenarioSpec, stripes: Vec<StripeOutcome>) -> ScenarioResult 
     }
     bounds.sort_by_key(|b| b.bound);
     let has = |status: BoundStatus| bounds.iter().any(|b| b.status == status);
-    let verdict = if has(BoundStatus::LAlert) {
+    let verdict = if bounds.is_empty() {
+        // Nothing was checked (e.g. the engine's window cap lies below the
+        // scenario's start window) — never report an unchecked design secure.
+        ScanVerdict::Inconclusive
+    } else if has(BoundStatus::LAlert) {
         ScanVerdict::Insecure
     } else if has(BoundStatus::Unknown) || has(BoundStatus::Cancelled) {
         ScanVerdict::Inconclusive
@@ -466,7 +499,10 @@ mod tests {
         let options = EngineOptions::new().with_threads(1).with_max_window(2);
         let single = UpecEngine::new(options).run([spec]);
         let striped = UpecEngine::new(
-            EngineOptions::new().with_threads(2).with_stripes(2).with_max_window(2),
+            EngineOptions::new()
+                .with_threads(2)
+                .with_stripes(2)
+                .with_max_window(2),
         )
         .run([spec]);
         assert_eq!(single.results[0].verdict, ScanVerdict::Insecure);
@@ -476,8 +512,8 @@ mod tests {
     #[test]
     fn max_window_caps_the_scan() {
         let spec = scenarios::by_id("secure-uncached").unwrap();
-        let report = UpecEngine::new(EngineOptions::new().with_threads(1).with_max_window(1))
-            .run([spec]);
+        let report =
+            UpecEngine::new(EngineOptions::new().with_threads(1).with_max_window(1)).run([spec]);
         assert_eq!(report.results[0].bounds.len(), 1);
         assert_eq!(report.results[0].verdict, ScanVerdict::Secure);
     }

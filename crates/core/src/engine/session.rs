@@ -1,8 +1,9 @@
 //! A persistent, incremental UPEC solving session.
 
 use crate::check::frame0_aliases;
-use crate::{Alert, AlertKind, RegisterPair, StateClass, UpecModel, UpecOptions, UpecOutcome,
-            UpecStats};
+use crate::{
+    Alert, AlertKind, RegisterPair, StateClass, UpecModel, UpecOptions, UpecOutcome, UpecStats,
+};
 use bmc::{UnrollOptions, Unrolling};
 use sat::SatResult;
 use std::collections::BTreeSet;
@@ -59,7 +60,10 @@ pub struct IncrementalSession<'m> {
 impl<'m> IncrementalSession<'m> {
     /// Opens a session on a miter with an optional per-query conflict budget.
     pub fn new(model: &'m UpecModel, conflict_limit: Option<u64>) -> Self {
-        Self::with_options(model, UpecOptions::window(0).with_conflict_limit(conflict_limit))
+        Self::with_options(
+            model,
+            UpecOptions::window(0).with_conflict_limit(conflict_limit),
+        )
     }
 
     /// Opens a session honoring every knob of [`UpecOptions`] (the `window`
@@ -117,6 +121,12 @@ impl<'m> IncrementalSession<'m> {
     /// every query; see [`sat::SolverStats::delta_since`]).
     pub fn solver_stats(&self) -> sat::SolverStats {
         self.unrolling.solver_stats()
+    }
+
+    /// Encoding statistics of the session's unrolling: strategy, schedule
+    /// size, encoded slot instances and CNF size (see [`bmc::EncodeStats`]).
+    pub fn encode_stats(&self) -> bmc::EncodeStats {
+        self.unrolling.encode_stats()
     }
 
     /// Checks the UPEC property at bound `k` with the obligation restricted

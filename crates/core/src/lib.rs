@@ -60,7 +60,9 @@ mod model;
 pub mod engine;
 pub mod scenarios;
 
-pub use check::{full_commitment, Alert, AlertKind, UpecChecker, UpecOptions, UpecOutcome, UpecStats};
+pub use check::{
+    full_commitment, Alert, AlertKind, UpecChecker, UpecOptions, UpecOutcome, UpecStats,
+};
 pub use engine::{
     BoundStatus, BoundSummary, EngineOptions, EngineReport, IncrementalSession, ScanVerdict,
     ScenarioResult, UpecEngine,

@@ -2,8 +2,8 @@
 //! closure proof (paper Sec. VI).
 
 use crate::{
-    full_commitment, Alert, AlertKind, SecretScenario, StateClass, UpecModel,
-    UpecOptions, UpecOutcome,
+    full_commitment, Alert, AlertKind, SecretScenario, StateClass, UpecModel, UpecOptions,
+    UpecOutcome,
 };
 use bmc::{UnrollOptions, Unrolling};
 use sat::SatResult;
@@ -304,19 +304,27 @@ pub fn close_alert_set(
         else {
             break;
         };
-        let mut grew = false;
+        // Decide about every escapee before mutating the set, so a mixed
+        // escape (blockable + architectural) returns the set the reported
+        // outcome was actually proven against.
+        let mut additions: Vec<String> = Vec::new();
         for name in escaping_registers {
             match model.pair(name) {
                 Some(pair)
                     if pair.class == StateClass::Microarchitectural
                         && pair.equal_or_blocked != pair.equal =>
                 {
-                    grew |= set.insert(name.clone());
+                    additions.push(name.clone());
                 }
                 // An architectural or unblockable escapee cannot soundly be
-                // tolerated — report the failure as is.
+                // tolerated — report the failure as is (`set` is untouched,
+                // so it is exactly the set this outcome was proven against).
                 _ => return (set, outcome.clone()),
             }
+        }
+        let mut grew = false;
+        for name in additions {
+            grew |= set.insert(name);
         }
         if !grew {
             break;
@@ -358,7 +366,10 @@ mod tests {
         // The classic first P-alert: the cache's hit data captured into the
         // EX/MEM result register.
         assert!(
-            report.p_alert_registers.iter().any(|r| r.starts_with("ex_mem") || r.starts_with("mem_wb")),
+            report
+                .p_alert_registers
+                .iter()
+                .any(|r| r.starts_with("ex_mem") || r.starts_with("mem_wb")),
             "registers: {:?}",
             report.p_alert_registers
         );

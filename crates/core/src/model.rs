@@ -309,7 +309,12 @@ impl UpecModel {
         roots.extend(window_constraints.iter().map(|c| c.signal));
         roots.push(memory_equivalence);
         for pair in &pairs {
-            roots.extend([pair.signal1, pair.signal2, pair.equal, pair.equal_or_blocked]);
+            roots.extend([
+                pair.signal1,
+                pair.signal2,
+                pair.equal,
+                pair.equal_or_blocked,
+            ]);
         }
         let compiled = Arc::new(CompiledTransition::compile_with_roots(&n, &roots));
 

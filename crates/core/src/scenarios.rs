@@ -136,12 +136,36 @@ impl ScenarioSpec {
 pub fn orc_attack_program(config: &SocConfig, guess: u32) -> Program {
     let accessible = 0x40u32;
     let mut p = Program::new(0);
-    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-    p.push(Instruction::Addi { rd: 2, rs1: 0, imm: accessible as i32 });
-    p.push(Instruction::Addi { rd: 2, rs1: 2, imm: (guess * 4) as i32 });
-    p.push(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 });
-    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
-    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+    p.push(Instruction::Addi {
+        rd: 1,
+        rs1: 0,
+        imm: config.secret_addr as i32,
+    });
+    p.push(Instruction::Addi {
+        rd: 2,
+        rs1: 0,
+        imm: accessible as i32,
+    });
+    p.push(Instruction::Addi {
+        rd: 2,
+        rs1: 2,
+        imm: (guess * 4) as i32,
+    });
+    p.push(Instruction::Sw {
+        rs1: 2,
+        rs2: 3,
+        offset: 0,
+    });
+    p.push(Instruction::Lw {
+        rd: 4,
+        rs1: 1,
+        offset: 0,
+    });
+    p.push(Instruction::Lw {
+        rd: 5,
+        rs1: 4,
+        offset: 0,
+    });
     p.push_nops(2);
     p
 }
@@ -150,9 +174,21 @@ pub fn orc_attack_program(config: &SocConfig, guess: u32) -> Program {
 /// experiment.
 pub fn transient_program(config: &SocConfig) -> Program {
     let mut p = Program::new(0);
-    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
-    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+    p.push(Instruction::Addi {
+        rd: 1,
+        rs1: 0,
+        imm: config.secret_addr as i32,
+    });
+    p.push(Instruction::Lw {
+        rd: 4,
+        rs1: 1,
+        offset: 0,
+    });
+    p.push(Instruction::Lw {
+        rd: 5,
+        rs1: 4,
+        offset: 0,
+    });
     p.push_nops(2);
     p
 }
@@ -287,7 +323,11 @@ mod tests {
             let model = spec.build_model();
             let commitment = spec.commitment_set(&model);
             assert!(!commitment.is_empty(), "{}: empty commitment", spec.id);
-            assert!(spec.start_window >= 1 && spec.start_window <= spec.max_window, "{}", spec.id);
+            assert!(
+                spec.start_window >= 1 && spec.start_window <= spec.max_window,
+                "{}",
+                spec.id
+            );
         }
     }
 
@@ -301,6 +341,9 @@ mod tests {
         let meltdown = by_id("meltdown").unwrap();
         let t = meltdown.demo_program(&meltdown.sim_config()).expect("demo");
         assert!(t.listing().contains("lw x4, 0(x1)"));
-        assert!(by_id("secure-uncached").unwrap().demo_program(&config).is_none());
+        assert!(by_id("secure-uncached")
+            .unwrap()
+            .demo_program(&config)
+            .is_none());
     }
 }

@@ -1,0 +1,126 @@
+//! Regression tests for the transition-relation compiler on the real UPEC
+//! miter: fast schedule-shape snapshots by default, and `#[ignore]`d
+//! multi-minute SAT regressions pinning the paper-level findings.
+
+use upec::engine::IncrementalSession;
+use upec::scenarios;
+use upec::{AlertKind, UpecOptions, UpecOutcome};
+
+/// The compiled miter schedule must be strictly smaller than the raw
+/// netlist: the cone-of-influence pruning, the structural hashing and the
+/// constant folding all fire on the two-instance miter.
+#[test]
+fn miter_schedule_is_smaller_than_the_netlist() {
+    let spec = scenarios::by_id("secure-cached").expect("registered");
+    let model = spec.build_model();
+    let stats = model.compiled_transition().stats();
+    assert!(
+        stats.scheduled_slots < stats.netlist_signals,
+        "schedule {} must be smaller than the netlist {}",
+        stats.scheduled_slots,
+        stats.netlist_signals
+    );
+    assert!(
+        stats.hashed_signals > 0,
+        "miters are full of shared subterms"
+    );
+    // Word-level constant folding rarely fires on the hand-built SoC (the
+    // generator already folds by construction), so only sanity-check it.
+    assert!(stats.folded_signals + stats.hashed_signals > 0);
+    assert!(stats.coi.cone_signals <= stats.coi.total_signals);
+    // The roots cover every queryable signal, so dropped registers must be
+    // rare-to-none — but scheduled slots still shrink via hashing/folding.
+    assert_eq!(stats.netlist_signals, stats.coi.total_signals);
+}
+
+/// Every registered scenario's miter compiles, and the schedule stays
+/// consistent with the netlist (spot invariants, no SAT involved).
+#[test]
+fn every_scenario_miter_compiles() {
+    for spec in scenarios::registry() {
+        let model = spec.build_model();
+        let ct = model.compiled_transition();
+        assert!(!ct.is_empty(), "{}: empty schedule", spec.id);
+        // All obligation signals must be in the schedule.
+        for pair in model.pairs() {
+            assert!(
+                ct.slot_of(pair.equal).is_some(),
+                "{}: equal signal of `{}` pruned",
+                spec.id,
+                pair.name
+            );
+            assert!(
+                ct.slot_of(pair.equal_or_blocked).is_some(),
+                "{}: equal_or_blocked signal of `{}` pruned",
+                spec.id,
+                pair.name
+            );
+        }
+        for c in model
+            .initial_constraints()
+            .iter()
+            .chain(model.window_constraints())
+        {
+            assert!(
+                ct.slot_of(c.signal).is_some(),
+                "{}: constraint `{}` pruned",
+                spec.id,
+                c.label
+            );
+        }
+    }
+}
+
+/// The compiled and the eager encodings must agree on the Orc L-alert
+/// verdict at the acceptance point k=2 while the compiled CNF is smaller.
+/// Release-mode runtime: roughly a minute.
+#[test]
+#[ignore = "two cold Orc k=2 SAT queries (~1 min release, much longer debug); run with --ignored"]
+fn orc_verdict_is_identical_under_both_encodings() {
+    let spec = scenarios::by_id("orc").expect("registered");
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+    let verdict = |options: UpecOptions| {
+        let mut session = IncrementalSession::with_options(&model, options);
+        let outcome = session.check_bound(2, &commitment);
+        let stats = session.encode_stats();
+        (outcome, stats.variables + stats.clauses)
+    };
+    let (eager, eager_size) = verdict(UpecOptions::window(2).eager());
+    let (compiled, compiled_size) = verdict(UpecOptions::window(2));
+    assert_eq!(
+        eager.alert().map(|a| a.kind),
+        compiled.alert().map(|a| a.kind),
+        "eager {eager:?} vs compiled {compiled:?}"
+    );
+    assert!(
+        compiled_size < eager_size,
+        "compiled CNF ({compiled_size}) must be smaller than eager ({eager_size})"
+    );
+}
+
+/// Pins the paper-level finding that the secret-dependent cache footprint
+/// (Fig. 1 as a UPEC check) first becomes visible at window k=5 on this
+/// geometry — no alert at k <= 4, a P-alert at k=5.
+#[test]
+#[ignore = "multi-minute SAT proof (cache-footprint P-alert at k=5); run with --ignored in release"]
+fn cache_footprint_p_alert_first_appears_at_k5() {
+    let spec = scenarios::by_id("cache-footprint").expect("registered");
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+    let mut session = IncrementalSession::new(&model, None);
+    for k in 1..=4 {
+        let outcome = session.check_bound(k, &commitment);
+        assert!(
+            outcome.is_proven(),
+            "no cache-state difference may be visible at k={k}: {outcome:?}"
+        );
+    }
+    let outcome = session.check_bound(5, &commitment);
+    match outcome {
+        UpecOutcome::Violated(ref alert, _) => {
+            assert_eq!(alert.kind, AlertKind::PAlert, "alert: {alert:?}")
+        }
+        other => panic!("expected the k=5 P-alert, got {other:?}"),
+    }
+}

@@ -36,7 +36,13 @@ pub fn to_dot(netlist: &Netlist) -> String {
             Node::Mux { .. } => "trapezium",
             _ => "box",
         };
-        let _ = writeln!(out, "  n{} [label=\"{}\", shape={}];", id.index(), label, shape);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={}];",
+            id.index(),
+            label,
+            shape
+        );
         for op in netlist.node(id).operands() {
             let _ = writeln!(out, "  n{} -> n{};", op.index(), id.index());
         }
@@ -86,10 +92,12 @@ fn node_label(netlist: &Netlist, id: crate::SignalId) -> String {
 
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_alphanumeric() || c == '[' || c == ']' || c == ':' || c == '\'' || c == '.' {
-            c
-        } else {
-            '_'
+        .map(|c| {
+            if c.is_alphanumeric() || c == '[' || c == ']' || c == ':' || c == '\'' || c == '.' {
+                c
+            } else {
+                '_'
+            }
         })
         .collect()
 }

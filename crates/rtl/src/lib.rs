@@ -64,8 +64,8 @@ pub mod dot;
 
 pub use coi::{Coi, CoiStats};
 pub use error::RtlError;
-pub use rng::SplitMix64;
 pub use netlist::{Netlist, OutputPort, RegisterHandle, RegisterInfo};
 pub use node::{BinaryOp, Node, RegisterId, SignalId, UnaryOp};
+pub use rng::SplitMix64;
 pub use stats::NetlistStats;
 pub use value::{BitVec, MAX_WIDTH};

@@ -1,6 +1,6 @@
 //! The word-level netlist: an expression DAG plus registers, ports and tags.
 
-use crate::{BitVec, BinaryOp, Node, RegisterId, RtlError, SignalId, UnaryOp};
+use crate::{BinaryOp, BitVec, Node, RegisterId, RtlError, SignalId, UnaryOp};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Information kept for each declared register.
@@ -259,7 +259,7 @@ impl Netlist {
     /// Panics if the width is zero or exceeds [`crate::MAX_WIDTH`].
     pub fn input(&mut self, name: impl Into<String>, width: u32) -> SignalId {
         assert!(
-            width >= 1 && width <= crate::MAX_WIDTH,
+            (1..=crate::MAX_WIDTH).contains(&width),
             "input width {width} out of range"
         );
         let name = self.scoped(&name.into());
@@ -310,7 +310,7 @@ impl Netlist {
 
     fn register_impl(&mut self, name: String, width: u32, init: Option<BitVec>) -> RegisterHandle {
         assert!(
-            width >= 1 && width <= crate::MAX_WIDTH,
+            (1..=crate::MAX_WIDTH).contains(&width),
             "register width {width} out of range"
         );
         let name = self.scoped(&name);
@@ -327,7 +327,10 @@ impl Netlist {
             next: None,
             init,
         });
-        RegisterHandle { id: register, signal }
+        RegisterHandle {
+            id: register,
+            signal,
+        }
     }
 
     /// Attaches the next-state expression of a register.
@@ -368,7 +371,8 @@ impl Netlist {
         let wb = self.width(b);
         if op.requires_equal_widths() {
             assert_eq!(
-                wa, wb,
+                wa,
+                wb,
                 "width mismatch in {op:?}: {} ({wa} bits) vs {} ({wb} bits)",
                 self.signal_name(a),
                 self.signal_name(b)
@@ -473,7 +477,8 @@ impl Netlist {
         let wt = self.width(then_);
         let we = self.width(else_);
         assert_eq!(
-            wt, we,
+            wt,
+            we,
             "mux branch width mismatch: {} ({wt} bits) vs {} ({we} bits)",
             self.signal_name(then_),
             self.signal_name(else_)

@@ -130,11 +130,7 @@ impl BinaryOp {
             | BinaryOp::Sub
             | BinaryOp::Shl
             | BinaryOp::Shr => wa,
-            BinaryOp::Eq
-            | BinaryOp::Ne
-            | BinaryOp::Ult
-            | BinaryOp::Ule
-            | BinaryOp::Slt => 1,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Ult | BinaryOp::Ule | BinaryOp::Slt => 1,
         }
     }
 
@@ -147,7 +143,12 @@ impl BinaryOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            BinaryOp::And | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Add | BinaryOp::Eq | BinaryOp::Ne
+            BinaryOp::And
+                | BinaryOp::Or
+                | BinaryOp::Xor
+                | BinaryOp::Add
+                | BinaryOp::Eq
+                | BinaryOp::Ne
         )
     }
 }

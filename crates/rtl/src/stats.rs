@@ -84,7 +84,11 @@ impl fmt::Display for NetlistStats {
         writeln!(f, "nodes:      {}", self.nodes)?;
         writeln!(f, "inputs:     {} ({} bits)", self.inputs, self.input_bits)?;
         writeln!(f, "outputs:    {}", self.outputs)?;
-        writeln!(f, "registers:  {} ({} state bits)", self.registers, self.state_bits)?;
+        writeln!(
+            f,
+            "registers:  {} ({} state bits)",
+            self.registers, self.state_bits
+        )?;
         writeln!(f, "constants:  {}", self.constants)?;
         writeln!(f, "unary ops:  {}", self.unary_ops)?;
         writeln!(f, "binary ops: {}", self.binary_ops)?;

@@ -40,7 +40,7 @@ impl BitVec {
     /// Panics if `width` is zero or larger than [`MAX_WIDTH`].
     pub fn new(value: u64, width: u32) -> Self {
         assert!(
-            width >= 1 && width <= MAX_WIDTH,
+            (1..=MAX_WIDTH).contains(&width),
             "bit-vector width {width} out of range 1..={MAX_WIDTH}"
         );
         Self {
@@ -245,7 +245,11 @@ impl BitVec {
     /// Panics if `hi < lo` or `hi >= width`.
     pub fn slice(&self, hi: u32, lo: u32) -> Self {
         assert!(hi >= lo, "slice hi {hi} < lo {lo}");
-        assert!(hi < self.width, "slice hi {hi} out of range for width {}", self.width);
+        assert!(
+            hi < self.width,
+            "slice hi {hi} out of range for width {}",
+            self.width
+        );
         let w = hi - lo + 1;
         Self::new(self.bits >> lo, w)
     }

@@ -231,7 +231,10 @@ impl Solver {
 
     /// Number of problem clauses (excluding learned clauses).
     pub fn num_clauses(&self) -> usize {
-        self.headers.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.headers
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// The literals of a clause.
@@ -827,6 +830,9 @@ enum SearchOutcome {
 }
 
 #[cfg(test)]
+// The pigeonhole builders index two parallel axes; an iterator form would
+// obscure the symmetry the clauses encode.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
 
@@ -879,7 +885,10 @@ mod tests {
         let result = s.solve();
         let model = result.model().expect("satisfiable");
         for c in &clauses {
-            assert!(c.iter().any(|&l| model.lit_is_true(l)), "clause {c:?} unsatisfied");
+            assert!(
+                c.iter().any(|&l| model.lit_is_true(l)),
+                "clause {c:?} unsatisfied"
+            );
         }
     }
 

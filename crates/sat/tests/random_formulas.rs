@@ -81,7 +81,7 @@ fn dimacs_roundtrip() {
         let mut cnf = CnfFormula::new();
         cnf.reserve_vars(num_vars.max(8));
         for _ in 0..num_clauses {
-            cnf.add_clause(random_clause(&mut rng, 7).into_iter());
+            cnf.add_clause(random_clause(&mut rng, 7));
         }
         let parsed = CnfFormula::from_dimacs(&cnf.to_dimacs()).expect("well-formed output");
         assert_eq!(parsed, cnf);

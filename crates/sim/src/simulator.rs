@@ -105,7 +105,11 @@ impl Simulator {
     /// Resets every register to its declared initial value (zero when none)
     /// and clears the cycle counter. Poked input values are retained.
     pub fn reset(&mut self) {
-        for (value, info) in self.register_values.iter_mut().zip(self.netlist.registers()) {
+        for (value, info) in self
+            .register_values
+            .iter_mut()
+            .zip(self.netlist.registers())
+        {
             *value = info.init.unwrap_or_else(|| BitVec::zero(info.width));
         }
         self.cycle = 0;

@@ -114,7 +114,11 @@ impl Trace {
                 .first()
                 .map(|row| row[self.signals.iter().position(|(n, _)| n == name).unwrap()].width())
                 .unwrap_or(1);
-            let _ = writeln!(out, "$var wire {width} {ident} {} $end", name.replace(' ', "_"));
+            let _ = writeln!(
+                out,
+                "$var wire {width} {ident} {} $end",
+                name.replace(' ', "_")
+            );
         }
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");
@@ -175,9 +179,15 @@ mod tests {
         assert_eq!(trace.len(), 5);
         assert!(!trace.is_empty());
         let r = trace.values_of("r").unwrap();
-        assert_eq!(r.iter().map(BitVec::as_u64).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            r.iter().map(BitVec::as_u64).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
         let flag = trace.values_of("flag").unwrap();
-        assert_eq!(flag.iter().map(BitVec::as_u64).collect::<Vec<_>>(), vec![0, 0, 1, 0, 0]);
+        assert_eq!(
+            flag.iter().map(BitVec::as_u64).collect::<Vec<_>>(),
+            vec![0, 0, 1, 0, 0]
+        );
         assert!(trace.values_of("missing").is_none());
         assert_eq!(trace.signal_names(), vec!["r", "flag"]);
     }
@@ -203,6 +213,8 @@ mod tests {
         let ids: Vec<String> = (0..200).map(vcd_ident).collect();
         let unique: std::collections::HashSet<_> = ids.iter().collect();
         assert_eq!(unique.len(), ids.len());
-        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+        assert!(ids
+            .iter()
+            .all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
     }
 }

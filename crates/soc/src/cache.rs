@@ -120,9 +120,8 @@ pub fn build_cache(
     // ------------------------------------------------------------------
     // Address decomposition helpers
     // ------------------------------------------------------------------
-    let index_of = |n: &mut Netlist, addr: SignalId| -> SignalId {
-        n.slice(addr, 2 + idx_bits - 1, 2)
-    };
+    let index_of =
+        |n: &mut Netlist, addr: SignalId| -> SignalId { n.slice(addr, 2 + idx_bits - 1, 2) };
     let tag_of = |n: &mut Netlist, addr: SignalId| -> SignalId { n.slice(addr, 31, 2 + idx_bits) };
 
     let zero_bit = n.zero();
@@ -320,9 +319,17 @@ pub fn build_cache(
             .chain(tag_regs.iter())
             .map(|r| r.id())
             .chain(
-                [&pw_valid, &pw_addr, &pw_data, &pw_counter, &refill_valid, &refill_addr, &refill_counter]
-                    .into_iter()
-                    .map(|r| r.id()),
+                [
+                    &pw_valid,
+                    &pw_addr,
+                    &pw_data,
+                    &pw_counter,
+                    &refill_valid,
+                    &refill_addr,
+                    &refill_counter,
+                ]
+                .into_iter()
+                .map(|r| r.id()),
             )
             .collect(),
     };
@@ -416,7 +423,11 @@ mod tests {
         let mut h = harness(SocVariant::Secure);
         // Store to address 0x10 (index 0 with 4 lines of one word).
         h.drive(1, 1, 0x10, 77, 1);
-        assert_eq!(h.sim.peek(h.out.busy).as_u64(), 0, "store accepted immediately");
+        assert_eq!(
+            h.sim.peek(h.out.busy).as_u64(),
+            0,
+            "store accepted immediately"
+        );
         h.sim.step();
         // While the write is pending, a load to the same index stalls.
         h.drive(1, 0, 0x10, 0, 1);
@@ -433,7 +444,10 @@ mod tests {
 
     #[test]
     fn flush_cancels_refill_in_secure_design_but_not_in_meltdown_variant() {
-        for (variant, expect_filled) in [(SocVariant::Secure, false), (SocVariant::MeltdownStyle, true)] {
+        for (variant, expect_filled) in [
+            (SocVariant::Secure, false),
+            (SocVariant::MeltdownStyle, true),
+        ] {
             let mut h = harness(variant);
             h.sim.poke(h.mem_rdata, 0x1234_5678);
             // Start a refill of address 0x40.
@@ -459,7 +473,11 @@ mod tests {
     fn no_refill_when_not_allowed() {
         let mut h = harness(SocVariant::Secure);
         h.drive(1, 0, 0x80, 0, 0);
-        assert_eq!(h.sim.peek(h.out.busy).as_u64(), 0, "probe without refill never stalls");
+        assert_eq!(
+            h.sim.peek(h.out.busy).as_u64(),
+            0,
+            "probe without refill never stalls"
+        );
         h.sim.run(5);
         assert_eq!(h.sim.peek(h.out.refill_active).as_u64(), 0);
     }

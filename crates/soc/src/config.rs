@@ -138,7 +138,10 @@ impl SocConfig {
     ///
     /// Panics if `lines` is not a power of two or is smaller than 2.
     pub fn with_cache_lines(mut self, lines: u32) -> Self {
-        assert!(lines.is_power_of_two() && lines >= 2, "cache lines must be a power of two >= 2");
+        assert!(
+            lines.is_power_of_two() && lines >= 2,
+            "cache lines must be a power of two >= 2"
+        );
         self.cache_lines = lines;
         self
     }
@@ -149,7 +152,10 @@ impl SocConfig {
     ///
     /// Panics if `n` is not a power of two in `2..=32`.
     pub fn with_registers(mut self, n: u32) -> Self {
-        assert!(n.is_power_of_two() && (2..=32).contains(&n), "register count must be a power of two in 2..=32");
+        assert!(
+            n.is_power_of_two() && (2..=32).contains(&n),
+            "register count must be a power of two in 2..=32"
+        );
         self.num_registers = n;
         self
     }
@@ -234,7 +240,9 @@ mod tests {
 
     #[test]
     fn geometry_helpers() {
-        let c = SocConfig::new(SocVariant::Secure).with_cache_lines(8).with_registers(16);
+        let c = SocConfig::new(SocVariant::Secure)
+            .with_cache_lines(8)
+            .with_registers(16);
         assert_eq!(c.index_bits(), 3);
         assert_eq!(c.reg_bits(), 4);
         // secret_addr 0x200 => word 0x80 => index 0 for 8 lines, tag 0x10.

@@ -8,7 +8,7 @@
 //! exceptions taken when the faulting instruction reaches WB.
 
 use crate::cache::{build_cache, CacheRequest};
-use crate::{SocConfig, isa::csr};
+use crate::{isa::csr, SocConfig};
 use rtl::{BitVec, Netlist, RegisterId, SignalId};
 
 /// Signal handles and register classification for one SoC instance.
@@ -217,7 +217,12 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
     };
     let mret_commit = {
         let no_fault = n.not(mem_wb_fault.value());
-        n.and_all([mem_wb_valid.value(), mem_wb_is_mret.value(), mode_is_machine, no_fault])
+        n.and_all([
+            mem_wb_valid.value(),
+            mem_wb_is_mret.value(),
+            mode_is_machine,
+            no_fault,
+        ])
     };
     let wb_flush = n.or(wb_exception, mret_commit);
 
@@ -405,10 +410,20 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
         };
         let mem_rd_low = n.slice(ex_mem_rd.value(), reg_bits - 1, 0);
         let mem_match = n.eq(mem_rd_low, rs_low);
-        let from_mem = n.and_all([ex_mem_valid.value(), ex_mem_writes_rd.value(), mem_match, rs_nonzero]);
+        let from_mem = n.and_all([
+            ex_mem_valid.value(),
+            ex_mem_writes_rd.value(),
+            mem_match,
+            rs_nonzero,
+        ]);
         let wb_rd_low = n.slice(mem_wb_rd.value(), reg_bits - 1, 0);
         let wb_match = n.eq(wb_rd_low, rs_low);
-        let from_wb = n.and_all([mem_wb_valid.value(), mem_wb_writes_rd.value(), wb_match, rs_nonzero]);
+        let from_wb = n.and_all([
+            mem_wb_valid.value(),
+            mem_wb_writes_rd.value(),
+            wb_match,
+            rs_nonzero,
+        ]);
         let after_wb = n.mux(from_wb, mem_wb_result.value(), id_value);
         let value = n.mux(from_mem, ex_mem_result.value(), after_wb);
         (value, from_mem)
@@ -487,8 +502,19 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
     let branch_cond = n.mux(id_ex_branch_is_bne.value(), rs_not_equal, rs_equal);
     let no_older_exception = n.not(older_exception_pending);
     let no_wb_flush = n.not(wb_flush);
-    let branch_taken = n.and_all([ex_valid, id_ex_is_branch.value(), branch_cond, no_older_exception, no_wb_flush]);
-    let jal_taken = n.and_all([ex_valid, id_ex_is_jal.value(), no_older_exception, no_wb_flush]);
+    let branch_taken = n.and_all([
+        ex_valid,
+        id_ex_is_branch.value(),
+        branch_cond,
+        no_older_exception,
+        no_wb_flush,
+    ]);
+    let jal_taken = n.and_all([
+        ex_valid,
+        id_ex_is_jal.value(),
+        no_older_exception,
+        no_wb_flush,
+    ]);
     let redirect = n.or(branch_taken, jal_taken);
     let redirect_pc = n.add(id_ex_pc.value(), id_ex_imm.value());
 
@@ -536,9 +562,18 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
     let no_replay_stall = n.not(replay_stall);
 
     // Cache request issue.
-    let issue_kill = if config.issue_killed_requests { zero1 } else { wb_flush };
+    let issue_kill = if config.issue_killed_requests {
+        zero1
+    } else {
+        wb_flush
+    };
     let no_issue_kill = n.not(issue_kill);
-    let load_issue = n.and_all([ex_valid, id_ex_is_load.value(), no_replay_stall, no_issue_kill]);
+    let load_issue = n.and_all([
+        ex_valid,
+        id_ex_is_load.value(),
+        no_replay_stall,
+        no_issue_kill,
+    ]);
     let no_pmp_fault = n.not(pmp_fault);
     let store_issue = n.and_all([
         ex_valid,
@@ -601,7 +636,12 @@ pub fn build_soc(n: &mut Netlist, config: &SocConfig, prefix: &str) -> SocInstan
     // CSR commit.
     let csr_commit = {
         let no_fault = n.not(mem_wb_fault.value());
-        n.and_all([mem_wb_valid.value(), mem_wb_csr_write.value(), no_fault, mode_is_machine])
+        n.and_all([
+            mem_wb_valid.value(),
+            mem_wb_csr_write.value(),
+            no_fault,
+            mode_is_machine,
+        ])
     };
     let csr_addr_wb = mem_wb_csr_addr.value();
     let csr_wdata_wb = mem_wb_csr_wdata.value();

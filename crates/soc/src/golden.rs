@@ -165,10 +165,8 @@ impl GoldenModel {
                     self.pmpaddr[0] = value;
                 }
             }
-            csr::PMPADDR1 => {
-                if self.pmpcfg[1] & 0x80 == 0 {
-                    self.pmpaddr[1] = value;
-                }
+            csr::PMPADDR1 if self.pmpcfg[1] & 0x80 == 0 => {
+                self.pmpaddr[1] = value;
             }
             _ => {}
         }
@@ -185,9 +183,7 @@ impl GoldenModel {
     ///
     /// Returns the executed instruction (before any trap redirection).
     pub fn step(&mut self, program: &Program, config: &SocConfig) -> Instruction {
-        let instruction = program
-            .fetch(self.pc)
-            .unwrap_or_else(Instruction::nop);
+        let instruction = program.fetch(self.pc).unwrap_or_else(Instruction::nop);
         let pc = self.pc;
         let mut next_pc = pc.wrapping_add(4);
         self.cycles += 1;
@@ -228,7 +224,9 @@ impl GoldenModel {
                     return instruction;
                 }
             }
-            Addi { rd, rs1, imm } => self.write_reg(rd, self.read_reg(rs1).wrapping_add(imm as u32)),
+            Addi { rd, rs1, imm } => {
+                self.write_reg(rd, self.read_reg(rs1).wrapping_add(imm as u32))
+            }
             Andi { rd, rs1, imm } => self.write_reg(rd, self.read_reg(rs1) & imm as u32),
             Ori { rd, rs1, imm } => self.write_reg(rd, self.read_reg(rs1) | imm as u32),
             Xori { rd, rs1, imm } => self.write_reg(rd, self.read_reg(rs1) ^ imm as u32),
@@ -301,11 +299,31 @@ mod tests {
     fn arithmetic_and_branches() {
         let config = config();
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 5 });
-        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: 7 });
-        p.push(Instruction::Add { rd: 3, rs1: 1, rs2: 2 });
-        p.push(Instruction::Beq { rs1: 3, rs2: 0, offset: 8 }); // not taken
-        p.push(Instruction::Sub { rd: 4, rs1: 3, rs2: 1 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 5,
+        });
+        p.push(Instruction::Addi {
+            rd: 2,
+            rs1: 0,
+            imm: 7,
+        });
+        p.push(Instruction::Add {
+            rd: 3,
+            rs1: 1,
+            rs2: 2,
+        });
+        p.push(Instruction::Beq {
+            rs1: 3,
+            rs2: 0,
+            offset: 8,
+        }); // not taken
+        p.push(Instruction::Sub {
+            rd: 4,
+            rs1: 3,
+            rs2: 1,
+        });
         let mut m = GoldenModel::new(&config);
         m.run(&p, &config, 100);
         assert_eq!(m.regs[3], 12);
@@ -316,11 +334,31 @@ mod tests {
     fn loads_stores_and_x0() {
         let config = config();
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 0x40 });
-        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: 99 });
-        p.push(Instruction::Sw { rs1: 1, rs2: 2, offset: 4 });
-        p.push(Instruction::Lw { rd: 3, rs1: 1, offset: 4 });
-        p.push(Instruction::Addi { rd: 0, rs1: 3, imm: 1 }); // write to x0 ignored
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 0x40,
+        });
+        p.push(Instruction::Addi {
+            rd: 2,
+            rs1: 0,
+            imm: 99,
+        });
+        p.push(Instruction::Sw {
+            rs1: 1,
+            rs2: 2,
+            offset: 4,
+        });
+        p.push(Instruction::Lw {
+            rd: 3,
+            rs1: 1,
+            offset: 4,
+        });
+        p.push(Instruction::Addi {
+            rd: 0,
+            rs1: 3,
+            imm: 1,
+        }); // write to x0 ignored
         let mut m = GoldenModel::new(&config);
         m.run(&p, &config, 100);
         assert_eq!(m.load_word(0x44), 99);
@@ -332,9 +370,21 @@ mod tests {
     fn protected_load_traps_and_mret_returns() {
         let config = config();
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-        p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
-        p.push(Instruction::Addi { rd: 5, rs1: 0, imm: 1 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: config.secret_addr as i32,
+        });
+        p.push(Instruction::Lw {
+            rd: 4,
+            rs1: 1,
+            offset: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: 5,
+            rs1: 0,
+            imm: 1,
+        });
         // Trap handler at the trap vector: mret back.
         let mut m = GoldenModel::new(&config);
         m.protect_region(config.protected_base, config.protected_top);
@@ -366,8 +416,16 @@ mod tests {
             // Machine software tries to move the base of the locked region
             // upward so that the secret falls outside the protected range.
             let mut p = Program::new(0);
-            p.push(Instruction::Addi { rd: 1, rs1: 0, imm: (config.protected_top >> 2) as i32 });
-            p.push(Instruction::Csrrw { rd: 0, csr: csr::PMPADDR0, rs1: 1 });
+            p.push(Instruction::Addi {
+                rd: 1,
+                rs1: 0,
+                imm: (config.protected_top >> 2) as i32,
+            });
+            p.push(Instruction::Csrrw {
+                rd: 0,
+                csr: csr::PMPADDR0,
+                rs1: 1,
+            });
             m.run(&p, config, 10);
             let moved = m.pmpaddr[0] == config.protected_top >> 2;
             assert_eq!(moved, expect_moved, "variant {:?}", config.variant());
@@ -382,7 +440,11 @@ mod tests {
         let config = config();
         let mut p = Program::new(0);
         p.push_nops(3);
-        p.push(Instruction::Csrrs { rd: 3, csr: csr::CYCLE, rs1: 0 });
+        p.push(Instruction::Csrrs {
+            rd: 3,
+            csr: csr::CYCLE,
+            rs1: 0,
+        });
         let mut m = GoldenModel::new(&config);
         m.run(&p, &config, 10);
         // The counter increments at the start of every step, so the read
@@ -396,8 +458,16 @@ mod tests {
         let mut m = GoldenModel::new(&config);
         m.protect_region(config.protected_base, config.protected_top);
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 0x7ff });
-        p.push(Instruction::Csrrw { rd: 0, csr: csr::PMPADDR1, rs1: 1 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 0x7ff,
+        });
+        p.push(Instruction::Csrrw {
+            rd: 0,
+            csr: csr::PMPADDR1,
+            rs1: 1,
+        });
         m.run(&p, &config, 10);
         assert_eq!(m.pmpaddr[1], config.protected_top >> 2);
     }

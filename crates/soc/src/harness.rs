@@ -38,7 +38,9 @@ impl SocSim {
     pub fn new(config: SocConfig, program: Program) -> Self {
         let mut netlist = Netlist::new(format!("soc_{}", config.variant().name()));
         let instance = build_soc(&mut netlist, &config, "soc");
-        netlist.validate().expect("generated SoC netlist is well formed");
+        netlist
+            .validate()
+            .expect("generated SoC netlist is well formed");
         Self {
             simulator: Simulator::new(netlist),
             instance,
@@ -151,16 +153,15 @@ impl SocSim {
         // Instruction fetch for the current PC.
         let pc = self.pc();
         let instr = self.program.fetch_word(pc);
-        self.simulator.poke(self.instance.imem_instr, u64::from(instr));
+        self.simulator
+            .poke(self.instance.imem_instr, u64::from(instr));
 
         // Memory read data for the refill in flight (sampled when it
         // completes).
-        let refill_addr = self
-            .simulator
-            .peek(self.instance.mem_read_addr)
-            .as_u64() as u32;
+        let refill_addr = self.simulator.peek(self.instance.mem_read_addr).as_u64() as u32;
         let rdata = self.load_word(refill_addr);
-        self.simulator.poke(self.instance.mem_rdata, u64::from(rdata));
+        self.simulator
+            .poke(self.instance.mem_rdata, u64::from(rdata));
 
         // Apply memory-side writes issued this cycle.
         let write = self.simulator.peek(self.instance.mem_req_valid).is_true()
@@ -237,13 +238,41 @@ mod tests {
     #[test]
     fn straight_line_arithmetic_matches_golden_model() {
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 5 });
-        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: 9 });
-        p.push(Instruction::Add { rd: 3, rs1: 1, rs2: 2 });
-        p.push(Instruction::Sub { rd: 4, rs1: 2, rs2: 1 });
-        p.push(Instruction::Xor { rd: 5, rs1: 1, rs2: 2 });
-        p.push(Instruction::Sltu { rd: 6, rs1: 1, rs2: 2 });
-        p.push(Instruction::Andi { rd: 7, rs1: 3, imm: 0xc });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 5,
+        });
+        p.push(Instruction::Addi {
+            rd: 2,
+            rs1: 0,
+            imm: 9,
+        });
+        p.push(Instruction::Add {
+            rd: 3,
+            rs1: 1,
+            rs2: 2,
+        });
+        p.push(Instruction::Sub {
+            rd: 4,
+            rs1: 2,
+            rs2: 1,
+        });
+        p.push(Instruction::Xor {
+            rd: 5,
+            rs1: 1,
+            rs2: 2,
+        });
+        p.push(Instruction::Sltu {
+            rd: 6,
+            rs1: 1,
+            rs2: 2,
+        });
+        p.push(Instruction::Andi {
+            rd: 7,
+            rs1: 3,
+            imm: 0xc,
+        });
         p.push_nops(4);
 
         let mut sim = SocSim::new(secure(), p.clone());
@@ -258,13 +287,41 @@ mod tests {
     #[test]
     fn loads_stores_and_forwarding_match_golden_model() {
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 0x40 });
-        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: 123 });
-        p.push(Instruction::Sw { rs1: 1, rs2: 2, offset: 0 });
-        p.push(Instruction::Lw { rd: 3, rs1: 1, offset: 0 });
-        p.push(Instruction::Add { rd: 4, rs1: 3, rs2: 2 });
-        p.push(Instruction::Sw { rs1: 1, rs2: 4, offset: 4 });
-        p.push(Instruction::Lw { rd: 5, rs1: 1, offset: 4 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 0x40,
+        });
+        p.push(Instruction::Addi {
+            rd: 2,
+            rs1: 0,
+            imm: 123,
+        });
+        p.push(Instruction::Sw {
+            rs1: 1,
+            rs2: 2,
+            offset: 0,
+        });
+        p.push(Instruction::Lw {
+            rd: 3,
+            rs1: 1,
+            offset: 0,
+        });
+        p.push(Instruction::Add {
+            rd: 4,
+            rs1: 3,
+            rs2: 2,
+        });
+        p.push(Instruction::Sw {
+            rs1: 1,
+            rs2: 4,
+            offset: 4,
+        });
+        p.push(Instruction::Lw {
+            rd: 5,
+            rs1: 1,
+            offset: 4,
+        });
         p.push_nops(4);
 
         let mut sim = SocSim::new(secure(), p.clone());
@@ -280,15 +337,43 @@ mod tests {
     #[test]
     fn branches_and_jumps_match_golden_model() {
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 3 });
-        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: 0 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 3,
+        });
+        p.push(Instruction::Addi {
+            rd: 2,
+            rs1: 0,
+            imm: 0,
+        });
         // Loop: x2 += x1; x1 -= 1; bne x1, x0, -8
-        p.push(Instruction::Add { rd: 2, rs1: 2, rs2: 1 });
-        p.push(Instruction::Addi { rd: 1, rs1: 1, imm: -1 });
-        p.push(Instruction::Bne { rs1: 1, rs2: 0, offset: -8 });
+        p.push(Instruction::Add {
+            rd: 2,
+            rs1: 2,
+            rs2: 1,
+        });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 1,
+            imm: -1,
+        });
+        p.push(Instruction::Bne {
+            rs1: 1,
+            rs2: 0,
+            offset: -8,
+        });
         p.push(Instruction::Jal { rd: 3, offset: 8 });
-        p.push(Instruction::Addi { rd: 4, rs1: 0, imm: 99 }); // skipped
-        p.push(Instruction::Addi { rd: 5, rs1: 0, imm: 7 });
+        p.push(Instruction::Addi {
+            rd: 4,
+            rs1: 0,
+            imm: 99,
+        }); // skipped
+        p.push(Instruction::Addi {
+            rd: 5,
+            rs1: 0,
+            imm: 7,
+        });
         p.push_nops(4);
 
         let mut sim = SocSim::new(secure(), p.clone());
@@ -306,9 +391,21 @@ mod tests {
     fn protected_load_traps_without_leaking_the_secret() {
         let config = secure();
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-        p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
-        p.push(Instruction::Addi { rd: 5, rs1: 0, imm: 1 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: config.secret_addr as i32,
+        });
+        p.push(Instruction::Lw {
+            rd: 4,
+            rs1: 1,
+            offset: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: 5,
+            rs1: 0,
+            imm: 1,
+        });
 
         let mut sim = SocSim::new(config.clone(), p);
         sim.protect_secret_region();
@@ -317,7 +414,10 @@ mod tests {
         assert!(trapped.is_some(), "the illegal load must trap");
         sim.run(5);
         assert_eq!(sim.reg(4), 0, "secret must not reach x4");
-        assert_eq!(sim.register("mcause") as u32, crate::isa::cause::LOAD_ACCESS_FAULT);
+        assert_eq!(
+            sim.register("mcause") as u32,
+            crate::isa::cause::LOAD_ACCESS_FAULT
+        );
         assert_eq!(sim.register("mepc") as u32, 4);
         assert_eq!(sim.pc() & !0x3f, config.trap_vector & !0x3f);
     }
@@ -325,9 +425,21 @@ mod tests {
     #[test]
     fn cache_misses_stall_but_preserve_results() {
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 0x80 });
-        p.push(Instruction::Lw { rd: 2, rs1: 1, offset: 0 });
-        p.push(Instruction::Lw { rd: 3, rs1: 1, offset: 0 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 0x80,
+        });
+        p.push(Instruction::Lw {
+            rd: 2,
+            rs1: 1,
+            offset: 0,
+        });
+        p.push(Instruction::Lw {
+            rd: 3,
+            rs1: 1,
+            offset: 0,
+        });
         p.push_nops(3);
         let mut sim = SocSim::new(secure(), p);
         sim.store_word(0x80, 0x5555);
@@ -341,9 +453,21 @@ mod tests {
         let config = secure();
         // Trap handler: mret back to user code.
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-        p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 }); // traps
-        p.push(Instruction::Addi { rd: 6, rs1: 0, imm: 11 }); // resumed here? (mepc=4 -> re-faults) so handler sets x6 instead
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: config.secret_addr as i32,
+        });
+        p.push(Instruction::Lw {
+            rd: 4,
+            rs1: 1,
+            offset: 0,
+        }); // traps
+        p.push(Instruction::Addi {
+            rd: 6,
+            rs1: 0,
+            imm: 11,
+        }); // resumed here? (mepc=4 -> re-faults) so handler sets x6 instead
         let mut sim = SocSim::new(config.clone(), p);
         sim.protect_secret_region();
         // Put an `mret` at the trap vector by extending the program image:

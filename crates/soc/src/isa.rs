@@ -95,7 +95,11 @@ pub enum Instruction {
 impl Instruction {
     /// Canonical no-operation (`addi x0, x0, 0`).
     pub fn nop() -> Self {
-        Instruction::Addi { rd: 0, rs1: 0, imm: 0 }
+        Instruction::Addi {
+            rd: 0,
+            rs1: 0,
+            imm: 0,
+        }
     }
 
     /// Encodes the instruction into its 32-bit RV32I representation.
@@ -152,8 +156,12 @@ impl Instruction {
             Or { rd, rs1, rs2 } => r(0, rs2, rs1, 0b110, rd, 0b0110011),
             Xor { rd, rs1, rs2 } => r(0, rs2, rs1, 0b100, rd, 0b0110011),
             Sltu { rd, rs1, rs2 } => r(0, rs2, rs1, 0b011, rd, 0b0110011),
-            Csrrw { rd, csr, rs1 } => (csr << 20) | (rs1 << 15) | (0b001 << 12) | (rd << 7) | 0b1110011,
-            Csrrs { rd, csr, rs1 } => (csr << 20) | (rs1 << 15) | (0b010 << 12) | (rd << 7) | 0b1110011,
+            Csrrw { rd, csr, rs1 } => {
+                (csr << 20) | (rs1 << 15) | (0b001 << 12) | (rd << 7) | 0b1110011
+            }
+            Csrrs { rd, csr, rs1 } => {
+                (csr << 20) | (rs1 << 15) | (0b010 << 12) | (rd << 7) | 0b1110011
+            }
             Mret => 0x3020_0073,
             Illegal(word) => word,
         }
@@ -185,20 +193,55 @@ impl Instruction {
             (imm as i32) << 11 >> 11
         };
         match opcode {
-            0b0110111 => Lui { rd, imm: word & 0xffff_f000 },
+            0b0110111 => Lui {
+                rd,
+                imm: word & 0xffff_f000,
+            },
             0b1101111 => Jal { rd, offset: imm_j },
             0b1100011 => match funct3 {
-                0b000 => Beq { rs1, rs2, offset: imm_b },
-                0b001 => Bne { rs1, rs2, offset: imm_b },
+                0b000 => Beq {
+                    rs1,
+                    rs2,
+                    offset: imm_b,
+                },
+                0b001 => Bne {
+                    rs1,
+                    rs2,
+                    offset: imm_b,
+                },
                 _ => Illegal(word),
             },
-            0b0000011 if funct3 == 0b010 => Lw { rd, rs1, offset: imm_i },
-            0b0100011 if funct3 == 0b010 => Sw { rs1, rs2, offset: imm_s },
+            0b0000011 if funct3 == 0b010 => Lw {
+                rd,
+                rs1,
+                offset: imm_i,
+            },
+            0b0100011 if funct3 == 0b010 => Sw {
+                rs1,
+                rs2,
+                offset: imm_s,
+            },
             0b0010011 => match funct3 {
-                0b000 => Addi { rd, rs1, imm: imm_i },
-                0b111 => Andi { rd, rs1, imm: imm_i },
-                0b110 => Ori { rd, rs1, imm: imm_i },
-                0b100 => Xori { rd, rs1, imm: imm_i },
+                0b000 => Addi {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b111 => Andi {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b110 => Ori {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
+                0b100 => Xori {
+                    rd,
+                    rs1,
+                    imm: imm_i,
+                },
                 _ => Illegal(word),
             },
             0b0110011 => match (funct7, funct3) {
@@ -215,8 +258,16 @@ impl Instruction {
                     Mret
                 } else {
                     match funct3 {
-                        0b001 => Csrrw { rd, csr: word >> 20, rs1 },
-                        0b010 => Csrrs { rd, csr: word >> 20, rs1 },
+                        0b001 => Csrrw {
+                            rd,
+                            csr: word >> 20,
+                            rs1,
+                        },
+                        0b010 => Csrrs {
+                            rd,
+                            csr: word >> 20,
+                            rs1,
+                        },
                         _ => Illegal(word),
                     }
                 }
@@ -229,11 +280,21 @@ impl Instruction {
     pub fn rd(&self) -> Option<Reg> {
         use Instruction::*;
         match *self {
-            Lui { rd, .. } | Jal { rd, .. } | Lw { rd, .. } | Addi { rd, .. } | Andi { rd, .. }
-            | Ori { rd, .. } | Xori { rd, .. } | Add { rd, .. } | Sub { rd, .. } | And { rd, .. }
-            | Or { rd, .. } | Xor { rd, .. } | Sltu { rd, .. } | Csrrw { rd, .. } | Csrrs { rd, .. } => {
-                (rd != 0).then_some(rd)
-            }
+            Lui { rd, .. }
+            | Jal { rd, .. }
+            | Lw { rd, .. }
+            | Addi { rd, .. }
+            | Andi { rd, .. }
+            | Ori { rd, .. }
+            | Xori { rd, .. }
+            | Add { rd, .. }
+            | Sub { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Sltu { rd, .. }
+            | Csrrw { rd, .. }
+            | Csrrs { rd, .. } => (rd != 0).then_some(rd),
             _ => None,
         }
     }
@@ -291,7 +352,10 @@ impl Program {
     /// Creates an empty program starting at `base` (word aligned).
     pub fn new(base: u32) -> Self {
         assert_eq!(base % 4, 0, "program base must be word aligned");
-        Self { base, instructions: Vec::new() }
+        Self {
+            base,
+            instructions: Vec::new(),
+        }
     }
 
     /// Base address of the first instruction.
@@ -326,10 +390,12 @@ impl Program {
     /// The instruction stored at a byte address, if the address falls inside
     /// the program.
     pub fn fetch(&self, addr: u32) -> Option<Instruction> {
-        if addr < self.base || (addr - self.base) % 4 != 0 {
+        if addr < self.base || !(addr - self.base).is_multiple_of(4) {
             return None;
         }
-        self.instructions.get(((addr - self.base) / 4) as usize).copied()
+        self.instructions
+            .get(((addr - self.base) / 4) as usize)
+            .copied()
     }
 
     /// The encoded instruction word at a byte address (`nop` outside the
@@ -369,25 +435,95 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip_for_every_instruction_kind() {
-        roundtrip(Instruction::Lui { rd: 3, imm: 0xabcd_e000 });
+        roundtrip(Instruction::Lui {
+            rd: 3,
+            imm: 0xabcd_e000,
+        });
         roundtrip(Instruction::Jal { rd: 1, offset: -8 });
-        roundtrip(Instruction::Jal { rd: 0, offset: 2044 });
-        roundtrip(Instruction::Beq { rs1: 1, rs2: 2, offset: 16 });
-        roundtrip(Instruction::Bne { rs1: 3, rs2: 0, offset: -12 });
-        roundtrip(Instruction::Lw { rd: 4, rs1: 1, offset: -4 });
-        roundtrip(Instruction::Sw { rs1: 2, rs2: 3, offset: 8 });
-        roundtrip(Instruction::Addi { rd: 2, rs1: 2, imm: -1 });
-        roundtrip(Instruction::Andi { rd: 2, rs1: 2, imm: 0xff });
-        roundtrip(Instruction::Ori { rd: 2, rs1: 2, imm: 0x7f });
-        roundtrip(Instruction::Xori { rd: 2, rs1: 2, imm: -2048 });
-        roundtrip(Instruction::Add { rd: 5, rs1: 6, rs2: 7 });
-        roundtrip(Instruction::Sub { rd: 5, rs1: 6, rs2: 7 });
-        roundtrip(Instruction::And { rd: 1, rs1: 2, rs2: 3 });
-        roundtrip(Instruction::Or { rd: 1, rs1: 2, rs2: 3 });
-        roundtrip(Instruction::Xor { rd: 1, rs1: 2, rs2: 3 });
-        roundtrip(Instruction::Sltu { rd: 1, rs1: 2, rs2: 3 });
-        roundtrip(Instruction::Csrrw { rd: 0, csr: csr::PMPADDR0, rs1: 5 });
-        roundtrip(Instruction::Csrrs { rd: 3, csr: csr::CYCLE, rs1: 0 });
+        roundtrip(Instruction::Jal {
+            rd: 0,
+            offset: 2044,
+        });
+        roundtrip(Instruction::Beq {
+            rs1: 1,
+            rs2: 2,
+            offset: 16,
+        });
+        roundtrip(Instruction::Bne {
+            rs1: 3,
+            rs2: 0,
+            offset: -12,
+        });
+        roundtrip(Instruction::Lw {
+            rd: 4,
+            rs1: 1,
+            offset: -4,
+        });
+        roundtrip(Instruction::Sw {
+            rs1: 2,
+            rs2: 3,
+            offset: 8,
+        });
+        roundtrip(Instruction::Addi {
+            rd: 2,
+            rs1: 2,
+            imm: -1,
+        });
+        roundtrip(Instruction::Andi {
+            rd: 2,
+            rs1: 2,
+            imm: 0xff,
+        });
+        roundtrip(Instruction::Ori {
+            rd: 2,
+            rs1: 2,
+            imm: 0x7f,
+        });
+        roundtrip(Instruction::Xori {
+            rd: 2,
+            rs1: 2,
+            imm: -2048,
+        });
+        roundtrip(Instruction::Add {
+            rd: 5,
+            rs1: 6,
+            rs2: 7,
+        });
+        roundtrip(Instruction::Sub {
+            rd: 5,
+            rs1: 6,
+            rs2: 7,
+        });
+        roundtrip(Instruction::And {
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        });
+        roundtrip(Instruction::Or {
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        });
+        roundtrip(Instruction::Xor {
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        });
+        roundtrip(Instruction::Sltu {
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        });
+        roundtrip(Instruction::Csrrw {
+            rd: 0,
+            csr: csr::PMPADDR0,
+            rs1: 5,
+        });
+        roundtrip(Instruction::Csrrs {
+            rd: 3,
+            csr: csr::CYCLE,
+            rs1: 0,
+        });
         roundtrip(Instruction::Mret);
     }
 
@@ -398,34 +534,110 @@ mod tests {
         // mret fixed encoding.
         assert_eq!(Instruction::Mret.encode(), 0x3020_0073);
         // lw x4, 0(x1) => 0x0000a203.
-        assert_eq!(Instruction::Lw { rd: 4, rs1: 1, offset: 0 }.encode(), 0x0000_a203);
+        assert_eq!(
+            Instruction::Lw {
+                rd: 4,
+                rs1: 1,
+                offset: 0
+            }
+            .encode(),
+            0x0000_a203
+        );
         // sw x3, 0(x2) => 0x00312023.
-        assert_eq!(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 }.encode(), 0x0031_2023);
+        assert_eq!(
+            Instruction::Sw {
+                rs1: 2,
+                rs2: 3,
+                offset: 0
+            }
+            .encode(),
+            0x0031_2023
+        );
     }
 
     #[test]
     fn undecodable_words_are_illegal() {
-        assert!(matches!(Instruction::decode(0xffff_ffff), Instruction::Illegal(_)));
-        assert!(matches!(Instruction::decode(0x0000_0000), Instruction::Illegal(_)));
+        assert!(matches!(
+            Instruction::decode(0xffff_ffff),
+            Instruction::Illegal(_)
+        ));
+        assert!(matches!(
+            Instruction::decode(0x0000_0000),
+            Instruction::Illegal(_)
+        ));
     }
 
     #[test]
     fn rd_reports_written_register() {
-        assert_eq!(Instruction::Addi { rd: 3, rs1: 0, imm: 1 }.rd(), Some(3));
-        assert_eq!(Instruction::Addi { rd: 0, rs1: 0, imm: 1 }.rd(), None);
-        assert_eq!(Instruction::Sw { rs1: 1, rs2: 2, offset: 0 }.rd(), None);
-        assert_eq!(Instruction::Beq { rs1: 1, rs2: 2, offset: 4 }.rd(), None);
+        assert_eq!(
+            Instruction::Addi {
+                rd: 3,
+                rs1: 0,
+                imm: 1
+            }
+            .rd(),
+            Some(3)
+        );
+        assert_eq!(
+            Instruction::Addi {
+                rd: 0,
+                rs1: 0,
+                imm: 1
+            }
+            .rd(),
+            None
+        );
+        assert_eq!(
+            Instruction::Sw {
+                rs1: 1,
+                rs2: 2,
+                offset: 0
+            }
+            .rd(),
+            None
+        );
+        assert_eq!(
+            Instruction::Beq {
+                rs1: 1,
+                rs2: 2,
+                offset: 4
+            }
+            .rd(),
+            None
+        );
     }
 
     #[test]
     fn program_fetch_and_listing() {
         let mut p = Program::new(0x10);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 7 });
-        p.push(Instruction::Add { rd: 2, rs1: 1, rs2: 1 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 7,
+        });
+        p.push(Instruction::Add {
+            rd: 2,
+            rs1: 1,
+            rs2: 1,
+        });
         p.push_nops(2);
         assert_eq!(p.len(), 4);
-        assert_eq!(p.fetch(0x10), Some(Instruction::Addi { rd: 1, rs1: 0, imm: 7 }));
-        assert_eq!(p.fetch(0x14), Some(Instruction::Add { rd: 2, rs1: 1, rs2: 1 }));
+        assert_eq!(
+            p.fetch(0x10),
+            Some(Instruction::Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 7
+            })
+        );
+        assert_eq!(
+            p.fetch(0x14),
+            Some(Instruction::Add {
+                rd: 2,
+                rs1: 1,
+                rs2: 1
+            })
+        );
         assert_eq!(p.fetch(0x0c), None);
         assert_eq!(p.fetch(0x11), None);
         assert_eq!(p.fetch_word(0x1000), Instruction::nop().encode());
@@ -436,7 +648,15 @@ mod tests {
 
     #[test]
     fn display_of_key_instructions() {
-        assert_eq!(Instruction::Lw { rd: 4, rs1: 1, offset: 0 }.to_string(), "lw x4, 0(x1)");
+        assert_eq!(
+            Instruction::Lw {
+                rd: 4,
+                rs1: 1,
+                offset: 0
+            }
+            .to_string(),
+            "lw x4, 0(x1)"
+        );
         assert_eq!(Instruction::Mret.to_string(), "mret");
         assert_eq!(
             Instruction::Lui { rd: 1, imm: 0x1000 }.to_string(),

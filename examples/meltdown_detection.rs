@@ -19,9 +19,21 @@ use upec::{run_methodology, SecretScenario, UpecChecker, UpecModel, UpecOptions,
 /// dependent load whose address is the secret itself.
 fn transient_program(config: &SocConfig) -> Program {
     let mut p = Program::new(0);
-    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 }); // traps
-    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 }); // transient, address = secret
+    p.push(Instruction::Addi {
+        rd: 1,
+        rs1: 0,
+        imm: config.secret_addr as i32,
+    });
+    p.push(Instruction::Lw {
+        rd: 4,
+        rs1: 1,
+        offset: 0,
+    }); // traps
+    p.push(Instruction::Lw {
+        rd: 5,
+        rs1: 4,
+        offset: 0,
+    }); // transient, address = secret
     p.push_nops(2);
     p
 }
@@ -52,8 +64,14 @@ fn main() {
     for variant in [SocVariant::MeltdownStyle, SocVariant::Secure] {
         let fp_a = cache_footprint(variant, secret_a);
         let fp_b = cache_footprint(variant, secret_b);
-        println!("{:>15}: secret {secret_a:#x} -> valid bits {fp_a:?}", variant.name());
-        println!("{:>15}: secret {secret_b:#x} -> valid bits {fp_b:?}", variant.name());
+        println!(
+            "{:>15}: secret {secret_a:#x} -> valid bits {fp_a:?}",
+            variant.name()
+        );
+        println!(
+            "{:>15}: secret {secret_b:#x} -> valid bits {fp_b:?}",
+            variant.name()
+        );
         if fp_a != fp_b {
             println!("                -> footprint depends on the secret: covert channel!");
             assert_eq!(variant, SocVariant::MeltdownStyle);
@@ -97,7 +115,10 @@ fn main() {
                 );
             }
             _ => {
-                assert!(outcome.is_proven(), "secure design must keep the cache state unique");
+                assert!(
+                    outcome.is_proven(),
+                    "secure design must keep the cache state unique"
+                );
                 println!(
                     "{:>15}: cache tag/valid state proven independent of the secret ({:?})",
                     variant.name(),

@@ -21,13 +21,24 @@ fn main() {
     let checker = UpecChecker::new();
     let window = UpecOptions::window(3);
 
-    println!("UPEC methodology on the {} design, {}", config.variant().name(), model.scenario().label());
-    println!("miter: {} register pairs, window k = {}\n", model.pairs().len(), window.window);
+    println!(
+        "UPEC methodology on the {} design, {}",
+        config.variant().name(),
+        model.scenario().label()
+    );
+    println!(
+        "miter: {} register pairs, window k = {}\n",
+        model.pairs().len(),
+        window.window
+    );
 
     let mut commitment = full_commitment(&model);
     let mut collected = std::collections::BTreeSet::new();
     for iteration in 1.. {
-        println!("iteration {iteration}: proving uniqueness of {} state bits ...", commitment.len());
+        println!(
+            "iteration {iteration}: proving uniqueness of {} state bits ...",
+            commitment.len()
+        );
         match checker.check(&model, window, &commitment) {
             outcome if outcome.is_proven() => {
                 println!("  -> property PROVEN ({:?})", outcome.stats().runtime);
@@ -37,7 +48,10 @@ fn main() {
                 let alert = outcome.alert().expect("violated").clone();
                 match alert.kind {
                     AlertKind::LAlert => {
-                        println!("  -> L-ALERT: architectural registers {:?} depend on the secret", alert.architectural_differences);
+                        println!(
+                            "  -> L-ALERT: architectural registers {:?} depend on the secret",
+                            alert.architectural_differences
+                        );
                         println!("  The design is NOT secure.");
                         return;
                     }

@@ -26,12 +26,36 @@ use soc::{Instruction, Program, SocConfig, SocSim, SocVariant};
 fn attack_program(config: &SocConfig, test_value: u32) -> Program {
     let accessible = 0x40u32; // cache-index-aligned user array
     let mut p = Program::new(0);
-    p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-    p.push(Instruction::Addi { rd: 2, rs1: 0, imm: accessible as i32 });
-    p.push(Instruction::Addi { rd: 2, rs1: 2, imm: (test_value * 4) as i32 });
-    p.push(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 });
-    p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
-    p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+    p.push(Instruction::Addi {
+        rd: 1,
+        rs1: 0,
+        imm: config.secret_addr as i32,
+    });
+    p.push(Instruction::Addi {
+        rd: 2,
+        rs1: 0,
+        imm: accessible as i32,
+    });
+    p.push(Instruction::Addi {
+        rd: 2,
+        rs1: 2,
+        imm: (test_value * 4) as i32,
+    });
+    p.push(Instruction::Sw {
+        rs1: 2,
+        rs2: 3,
+        offset: 0,
+    });
+    p.push(Instruction::Lw {
+        rd: 4,
+        rs1: 1,
+        offset: 0,
+    });
+    p.push(Instruction::Lw {
+        rd: 5,
+        rs1: 4,
+        offset: 0,
+    });
     p.push_nops(2);
     p
 }
@@ -63,11 +87,18 @@ fn main() {
         let mut timings = Vec::new();
         for guess in 0..lines {
             let cycles = measure(variant, secret, guess);
-            let note = if guess == known_conflict { " (known self-conflict, ignored)" } else { "" };
+            let note = if guess == known_conflict {
+                " (known self-conflict, ignored)"
+            } else {
+                ""
+            };
             timings.push((guess, cycles));
             println!("guess index {guess}: {cycles} cycles until the exception{note}");
         }
-        let usable: Vec<_> = timings.iter().filter(|&&(g, _)| g != known_conflict).collect();
+        let usable: Vec<_> = timings
+            .iter()
+            .filter(|&&(g, _)| g != known_conflict)
+            .collect();
         let max = usable.iter().map(|&&(_, c)| c).max().unwrap();
         let min = usable.iter().map(|&&(_, c)| c).min().unwrap();
         if max != min {

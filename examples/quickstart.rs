@@ -13,17 +13,42 @@ fn main() {
     // ------------------------------------------------------------------
     let config = SocConfig::new(SocVariant::Secure);
     let mut program = Program::new(0);
-    program.push(Instruction::Addi { rd: 1, rs1: 0, imm: 0x40 });
-    program.push(Instruction::Addi { rd: 2, rs1: 0, imm: 21 });
-    program.push(Instruction::Add { rd: 2, rs1: 2, rs2: 2 });
-    program.push(Instruction::Sw { rs1: 1, rs2: 2, offset: 0 });
-    program.push(Instruction::Lw { rd: 3, rs1: 1, offset: 0 });
+    program.push(Instruction::Addi {
+        rd: 1,
+        rs1: 0,
+        imm: 0x40,
+    });
+    program.push(Instruction::Addi {
+        rd: 2,
+        rs1: 0,
+        imm: 21,
+    });
+    program.push(Instruction::Add {
+        rd: 2,
+        rs1: 2,
+        rs2: 2,
+    });
+    program.push(Instruction::Sw {
+        rs1: 1,
+        rs2: 2,
+        offset: 0,
+    });
+    program.push(Instruction::Lw {
+        rd: 3,
+        rs1: 1,
+        offset: 0,
+    });
     program.push_nops(4);
     println!("Program:\n{}", program.listing());
 
     let mut sim = SocSim::new(config.clone(), program);
     sim.run(60);
-    println!("x2 = {}, x3 = {}, mem[0x40] = {}", sim.reg(2), sim.reg(3), sim.load_word(0x40));
+    println!(
+        "x2 = {}, x3 = {}, mem[0x40] = {}",
+        sim.reg(2),
+        sim.reg(3),
+        sim.load_word(0x40)
+    );
     assert_eq!(sim.reg(3), 42);
 
     // ------------------------------------------------------------------

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository verification: formatting, lints, and the tier-1 build/test gate.
+#
+# Usage: scripts/verify.sh
+#
+# Keep this script in sync with the README's "Tests and verification"
+# section. The tier-1 gate is the same command CI (and the PR driver) runs:
+#   cargo build --release && cargo test -q
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "verify.sh: all checks passed"

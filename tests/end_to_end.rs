@@ -25,12 +25,36 @@ fn orc_attack_timing_channel_exists_only_in_the_vulnerable_design() {
         let config = SocConfig::new(variant);
         let accessible = 0x40u32;
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: accessible as i32 });
-        p.push(Instruction::Addi { rd: 2, rs1: 2, imm: (guess * 4) as i32 });
-        p.push(Instruction::Sw { rs1: 2, rs2: 3, offset: 0 });
-        p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
-        p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: config.secret_addr as i32,
+        });
+        p.push(Instruction::Addi {
+            rd: 2,
+            rs1: 0,
+            imm: accessible as i32,
+        });
+        p.push(Instruction::Addi {
+            rd: 2,
+            rs1: 2,
+            imm: (guess * 4) as i32,
+        });
+        p.push(Instruction::Sw {
+            rs1: 2,
+            rs2: 3,
+            offset: 0,
+        });
+        p.push(Instruction::Lw {
+            rd: 4,
+            rs1: 1,
+            offset: 0,
+        });
+        p.push(Instruction::Lw {
+            rd: 5,
+            rs1: 4,
+            offset: 0,
+        });
         p.push_nops(2);
         let mut sim = SocSim::new(config, p);
         sim.protect_secret_region();
@@ -47,18 +71,34 @@ fn orc_attack_timing_channel_exists_only_in_the_vulnerable_design() {
     // so it is excluded from the comparison.
     let known_conflict = (config.secret_addr >> 2) % lines;
     let usable: Vec<u32> = (0..lines).filter(|&g| g != known_conflict).collect();
-    let orc: Vec<(u32, u64)> = usable.iter().map(|&g| (g, measure(SocVariant::Orc, g))).collect();
-    let secure: Vec<(u32, u64)> = usable.iter().map(|&g| (g, measure(SocVariant::Secure, g))).collect();
+    let orc: Vec<(u32, u64)> = usable
+        .iter()
+        .map(|&g| (g, measure(SocVariant::Orc, g)))
+        .collect();
+    let secure: Vec<(u32, u64)> = usable
+        .iter()
+        .map(|&g| (g, measure(SocVariant::Secure, g)))
+        .collect();
 
     let orc_min = orc.iter().map(|&(_, c)| c).min().unwrap();
     let orc_max = orc.iter().map(|&(_, c)| c).max().unwrap();
-    assert!(orc_max > orc_min, "Orc design must show a timing difference: {orc:?}");
+    assert!(
+        orc_max > orc_min,
+        "Orc design must show a timing difference: {orc:?}"
+    );
     let slow_guess = orc.iter().find(|&&(_, c)| c == orc_max).unwrap().0;
-    assert_eq!(slow_guess, (secret >> 2) % lines, "the slow guess reveals the secret's index");
+    assert_eq!(
+        slow_guess,
+        (secret >> 2) % lines,
+        "the slow guess reveals the secret's index"
+    );
 
     let secure_min = secure.iter().map(|&(_, c)| c).min().unwrap();
     let secure_max = secure.iter().map(|&(_, c)| c).max().unwrap();
-    assert_eq!(secure_min, secure_max, "secure design must be constant time: {secure:?}");
+    assert_eq!(
+        secure_min, secure_max,
+        "secure design must be constant time: {secure:?}"
+    );
 }
 
 /// The Meltdown-style variant leaves a secret-dependent cache footprint; the
@@ -68,9 +108,21 @@ fn meltdown_style_cache_footprint_depends_on_the_secret() {
     let footprint = |variant: SocVariant, secret: u32| -> Vec<u64> {
         let config = SocConfig::new(variant);
         let mut p = Program::new(0);
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: config.secret_addr as i32 });
-        p.push(Instruction::Lw { rd: 4, rs1: 1, offset: 0 });
-        p.push(Instruction::Lw { rd: 5, rs1: 4, offset: 0 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: config.secret_addr as i32,
+        });
+        p.push(Instruction::Lw {
+            rd: 4,
+            rs1: 1,
+            offset: 0,
+        });
+        p.push(Instruction::Lw {
+            rd: 5,
+            rs1: 4,
+            offset: 0,
+        });
         p.push_nops(2);
         let mut sim = SocSim::new(config.clone(), p);
         sim.protect_secret_region();
@@ -83,10 +135,16 @@ fn meltdown_style_cache_footprint_depends_on_the_secret() {
     };
     let a = footprint(SocVariant::MeltdownStyle, 0x184);
     let b = footprint(SocVariant::MeltdownStyle, 0x188);
-    assert_ne!(a, b, "vulnerable design: footprint must depend on the secret");
+    assert_ne!(
+        a, b,
+        "vulnerable design: footprint must depend on the secret"
+    );
     let a = footprint(SocVariant::Secure, 0x184);
     let b = footprint(SocVariant::Secure, 0x188);
-    assert_eq!(a, b, "secure design: footprint must not depend on the secret");
+    assert_eq!(
+        a, b,
+        "secure design: footprint must not depend on the secret"
+    );
 }
 
 /// UPEC separates the secure design from all three vulnerable variants.
@@ -94,7 +152,10 @@ fn meltdown_style_cache_footprint_depends_on_the_secret() {
 #[ignore = "multi-minute SAT proofs (windows up to 4 on three variants); run with --ignored"]
 fn upec_methodology_classifies_all_design_variants() {
     // Secure design, secret not cached: proven with no alerts.
-    let model = UpecModel::new(&formal_config(SocVariant::Secure), SecretScenario::NotInCache);
+    let model = UpecModel::new(
+        &formal_config(SocVariant::Secure),
+        SecretScenario::NotInCache,
+    );
     let report = run_methodology(&model, UpecOptions::window(2));
     assert_eq!(report.verdict, Verdict::Secure);
     assert_eq!(report.p_alert_count(), 0);
@@ -124,12 +185,29 @@ fn upec_methodology_classifies_all_design_variants() {
             .collect()
     };
     let checker = UpecChecker::new();
-    let model = UpecModel::new(&formal_config(SocVariant::MeltdownStyle), SecretScenario::InCache);
-    let outcome = checker.check(&model, UpecOptions::window(4), &cache_state_commitment(&model));
-    assert!(outcome.alert().is_some(), "meltdown-style refill must mark the cache");
+    let model = UpecModel::new(
+        &formal_config(SocVariant::MeltdownStyle),
+        SecretScenario::InCache,
+    );
+    let outcome = checker.check(
+        &model,
+        UpecOptions::window(4),
+        &cache_state_commitment(&model),
+    );
+    assert!(
+        outcome.alert().is_some(),
+        "meltdown-style refill must mark the cache"
+    );
     let model = UpecModel::new(&formal_config(SocVariant::Secure), SecretScenario::InCache);
-    let outcome = checker.check(&model, UpecOptions::window(4), &cache_state_commitment(&model));
-    assert!(outcome.is_proven(), "secure design keeps the cache state unique");
+    let outcome = checker.check(
+        &model,
+        UpecOptions::window(4),
+        &cache_state_commitment(&model),
+    );
+    assert!(
+        outcome.is_proven(),
+        "secure design keeps the cache state unique"
+    );
 }
 
 /// The PMP TOR-lock bug (paper Sec. VII-C) is detected as a direct
@@ -138,7 +216,10 @@ fn upec_methodology_classifies_all_design_variants() {
 #[ignore = "the leak needs a seven-cycle window; the proof takes minutes on one core; run with --ignored"]
 fn pmp_lock_bug_is_detected_as_an_l_alert() {
     let checker = UpecChecker::new();
-    let buggy = UpecModel::new(&formal_config(SocVariant::PmpLockBug), SecretScenario::InCache);
+    let buggy = UpecModel::new(
+        &formal_config(SocVariant::PmpLockBug),
+        SecretScenario::InCache,
+    );
     // The shortest leaking scenario needs the locked base address to be moved
     // (CSR write retiring), an `mret` into user mode and the now-permitted
     // load to flow down the pipeline — roughly seven cycles — so the search
@@ -167,9 +248,21 @@ fn random_programs_cosimulate_against_the_golden_model() {
     for trial in 0..8 {
         let mut p = Program::new(0);
         // Seed registers with small values and a valid pointer.
-        p.push(Instruction::Addi { rd: 1, rs1: 0, imm: 0x40 });
-        p.push(Instruction::Addi { rd: 2, rs1: 0, imm: rng.gen_range(0..100) as i32 });
-        p.push(Instruction::Addi { rd: 3, rs1: 0, imm: rng.gen_range(0..100) as i32 });
+        p.push(Instruction::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 0x40,
+        });
+        p.push(Instruction::Addi {
+            rd: 2,
+            rs1: 0,
+            imm: rng.gen_range(0..100) as i32,
+        });
+        p.push(Instruction::Addi {
+            rd: 3,
+            rs1: 0,
+            imm: rng.gen_range(0..100) as i32,
+        });
         for _ in 0..12 {
             let rd = rng.gen_range(2..8) as u32;
             let rs1 = rng.gen_range(0..8) as u32;
@@ -181,9 +274,21 @@ fn random_programs_cosimulate_against_the_golden_model() {
                 2 => Instruction::Xor { rd, rs1, rs2 },
                 3 => Instruction::Or { rd, rs1, rs2 },
                 4 => Instruction::Sltu { rd, rs1, rs2 },
-                5 => Instruction::Addi { rd, rs1, imm: rng.gen_range(-64..64) as i32 },
-                6 => Instruction::Sw { rs1: 1, rs2, offset: 4 * rng.gen_range(0..4) as i32 },
-                _ => Instruction::Lw { rd, rs1: 1, offset: 4 * rng.gen_range(0..4) as i32 },
+                5 => Instruction::Addi {
+                    rd,
+                    rs1,
+                    imm: rng.gen_range(-64..64) as i32,
+                },
+                6 => Instruction::Sw {
+                    rs1: 1,
+                    rs2,
+                    offset: 4 * rng.gen_range(0..4) as i32,
+                },
+                _ => Instruction::Lw {
+                    rd,
+                    rs1: 1,
+                    offset: 4 * rng.gen_range(0..4) as i32,
+                },
             };
             p.push(ins);
         }
