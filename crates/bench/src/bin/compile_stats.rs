@@ -18,7 +18,7 @@
 use std::time::Instant;
 use upec::engine::IncrementalSession;
 use upec::scenarios::{self, ScenarioSpec};
-use upec::{UpecOptions, UpecOutcome};
+use upec::UpecOptions;
 
 /// One strategy's measurement.
 struct Measurement {
@@ -30,21 +30,13 @@ struct Measurement {
     scheduled_slots: usize,
 }
 
-fn verdict_name(outcome: &UpecOutcome) -> &'static str {
-    match outcome {
-        UpecOutcome::Proven(_) => "proven",
-        UpecOutcome::Unknown(_) => "unknown",
-        UpecOutcome::Violated(alert, _) => match alert.kind {
-            upec::AlertKind::PAlert => "p-alert",
-            upec::AlertKind::LAlert => "l-alert",
-        },
-    }
-}
-
 fn measure(spec: &ScenarioSpec, k: usize, eager: bool) -> Measurement {
     let model = spec.build_model();
     let commitment = spec.commitment_set(&model);
-    let mut options = UpecOptions::window(k);
+    // Both sides run without CNF simplification so this bench keeps
+    // isolating the *encoding* layer (and stays comparable with its PR 3
+    // baseline); the solver layer has its own bench, `solver_stats`.
+    let mut options = UpecOptions::window(k).no_simplify();
     if eager {
         options = options.eager();
     }
@@ -57,7 +49,7 @@ fn measure(spec: &ScenarioSpec, k: usize, eager: bool) -> Measurement {
         variables: encode.variables,
         clauses: encode.clauses,
         solve_seconds,
-        verdict: verdict_name(&outcome),
+        verdict: outcome.verdict_name(),
         encoded_slots: encode.encoded_slots,
         scheduled_slots: encode.scheduled_slots,
     }

@@ -1,0 +1,194 @@
+//! Measures what the solver-level CNF simplification pipeline buys: CNF
+//! size after simplification and end-to-end solve time of UPEC queries with
+//! the pipeline enabled (failed-literal probing, subsumption/self-subsuming
+//! resolution, bounded variable elimination, LBD-aware clause retention)
+//! versus the PR 3 compiled baseline (`no_simplify`), asserting that
+//! verdicts are unchanged.
+//!
+//! Results are printed as a table and written to `BENCH_solver.json` so the
+//! repository's bench trajectory can track solver performance over time.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin solver_stats                 # whole registry at k=2
+//! cargo run --release -p bench --bin solver_stats -- orc meltdown
+//! cargo run --release -p bench --bin solver_stats -- --k 3 orc
+//! cargo run --release -p bench --bin solver_stats -- --out /tmp/solver.json
+//! ```
+//!
+//! The default window is the acceptance point k=2 for every scenario
+//! (deliberately *not* clamped into each scenario's scan range: the
+//! comparison needs one common bound, and scenarios whose attacks need
+//! longer windows simply verify "proven = proven" at k=2).
+
+use std::time::Instant;
+use upec::engine::IncrementalSession;
+use upec::scenarios::{self, ScenarioSpec};
+use upec::UpecOptions;
+
+/// One strategy's measurement.
+struct Measurement {
+    variables: usize,
+    clauses: usize,
+    solve_seconds: f64,
+    verdict: &'static str,
+    conflicts: u64,
+    eliminated_vars: u64,
+    subsumed_clauses: u64,
+    failed_literals: u64,
+}
+
+fn measure(spec: &ScenarioSpec, k: usize, no_simplify: bool) -> Measurement {
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+    let mut options = UpecOptions::window(k);
+    if no_simplify {
+        options = options.no_simplify();
+    }
+    let mut session = IncrementalSession::with_options(&model, options);
+    let start = Instant::now();
+    let outcome = session.check_bound(k, &commitment);
+    let solve_seconds = start.elapsed().as_secs_f64();
+    let encode = session.encode_stats();
+    let solver = session.solver_stats();
+    let simp = session.simplify_stats();
+    Measurement {
+        variables: encode.variables,
+        clauses: encode.clauses,
+        solve_seconds,
+        verdict: outcome.verdict_name(),
+        conflicts: solver.conflicts,
+        eliminated_vars: simp.eliminated_vars,
+        subsumed_clauses: simp.subsumed_clauses,
+        failed_literals: simp.failed_literals,
+    }
+}
+
+fn json_entry(
+    spec: &ScenarioSpec,
+    k: usize,
+    baseline: &Measurement,
+    simplified: &Measurement,
+) -> String {
+    let strategy = |m: &Measurement| {
+        format!(
+            "{{\"variables\": {}, \"clauses\": {}, \"solve_seconds\": {:.3}, \"verdict\": \"{}\", \
+             \"conflicts\": {}, \"eliminated_vars\": {}, \"subsumed_clauses\": {}, \
+             \"failed_literals\": {}}}",
+            m.variables,
+            m.clauses,
+            m.solve_seconds,
+            m.verdict,
+            m.conflicts,
+            m.eliminated_vars,
+            m.subsumed_clauses,
+            m.failed_literals
+        )
+    };
+    format!(
+        "    {{\"id\": \"{}\", \"k\": {k}, \"baseline\": {}, \"simplified\": {}, \"speedup\": {:.2}}}",
+        spec.id,
+        strategy(baseline),
+        strategy(simplified),
+        baseline.solve_seconds / simplified.solve_seconds.max(1e-9),
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut ids: Vec<String> = Vec::new();
+    let mut k_override: Option<usize> = None;
+    let mut out_path = "BENCH_solver.json".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--k" => {
+                let parsed = args.next().and_then(|v| v.parse().ok());
+                let Some(k) = parsed else {
+                    eprintln!("--k needs a numeric value");
+                    std::process::exit(2);
+                };
+                k_override = Some(k);
+            }
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                };
+                out_path = path;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = scenarios::all().iter().map(|s| s.id.to_string()).collect();
+    }
+    let k = k_override.unwrap_or(2);
+
+    println!(
+        "{:<18} {:>2}  {:>10} {:>10} {:>9}   {:>10} {:>10} {:>9}  {:>6} {:>6}  verdict",
+        "scenario", "k", "vars", "clauses", "solve", "vars'", "clauses'", "solve'", "elim", "subsd"
+    );
+    let mut entries = Vec::new();
+    let mut verdicts_match = true;
+    let mut total_baseline = 0.0f64;
+    let mut total_simplified = 0.0f64;
+    for id in &ids {
+        let spec = scenarios::by_id(id).unwrap_or_else(|| {
+            eprintln!("unknown scenario `{id}`; known ids:");
+            for s in scenarios::all() {
+                eprintln!("  {}", s.id);
+            }
+            std::process::exit(2);
+        });
+        let baseline = measure(&spec, k, true);
+        let simplified = measure(&spec, k, false);
+        if baseline.verdict != simplified.verdict {
+            verdicts_match = false;
+            eprintln!(
+                "VERDICT MISMATCH on {}: baseline={} simplified={}",
+                spec.id, baseline.verdict, simplified.verdict
+            );
+        }
+        total_baseline += baseline.solve_seconds;
+        total_simplified += simplified.solve_seconds;
+        println!(
+            "{:<18} {:>2}  {:>10} {:>10} {:>8.2}s   {:>10} {:>10} {:>8.2}s  {:>6} {:>6}  {} / {}",
+            spec.id,
+            k,
+            baseline.variables,
+            baseline.clauses,
+            baseline.solve_seconds,
+            simplified.variables,
+            simplified.clauses,
+            simplified.solve_seconds,
+            simplified.eliminated_vars,
+            simplified.subsumed_clauses,
+            baseline.verdict,
+            simplified.verdict,
+        );
+        entries.push(json_entry(&spec, k, &baseline, &simplified));
+    }
+
+    let reduction = if total_baseline > 0.0 {
+        100.0 * (total_baseline - total_simplified) / total_baseline
+    } else {
+        0.0
+    };
+    println!(
+        "\naggregate solve time: baseline {total_baseline:.2}s, simplified {total_simplified:.2}s \
+         ({reduction:.1}% reduction)"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"solver_stats\",\n  \"unit\": \"CNF variables+clauses, seconds\",\n  \
+         \"aggregate\": {{\"baseline_seconds\": {total_baseline:.3}, \"simplified_seconds\": \
+         {total_simplified:.3}, \"solve_time_reduction_percent\": {reduction:.1}}},\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    if !verdicts_match {
+        std::process::exit(1);
+    }
+}

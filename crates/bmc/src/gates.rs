@@ -1,6 +1,6 @@
 //! Tseitin encoding of Boolean gates into a SAT solver.
 
-use sat::{Lit, Solver};
+use sat::{Lit, SimplifyConfig, Solver};
 use std::collections::HashMap;
 
 /// Key used for structural hashing of gates.
@@ -9,6 +9,16 @@ enum GateKey {
     And(Lit, Lit),
     Xor(Lit, Lit),
     Mux(Lit, Lit, Lit),
+}
+
+impl GateKey {
+    /// Whether any operand literal satisfies the predicate.
+    fn any_lit(&self, mut pred: impl FnMut(Lit) -> bool) -> bool {
+        match *self {
+            GateKey::And(a, b) | GateKey::Xor(a, b) => pred(a) || pred(b),
+            GateKey::Mux(c, t, e) => pred(c) || pred(t) || pred(e),
+        }
+    }
 }
 
 /// Helper that allocates Tseitin variables for Boolean gates on top of a
@@ -32,12 +42,36 @@ impl GateBuilder {
     pub fn new() -> Self {
         let mut solver = Solver::new();
         let true_lit = solver.new_var().positive();
+        solver.freeze(true_lit);
         solver.add_clause([true_lit]);
         Self {
             solver,
             true_lit,
             structural: HashMap::new(),
         }
+    }
+
+    /// Freezes a literal's variable: the CNF simplifier will never eliminate
+    /// it, so it stays legal in later clauses, assumptions and model reads.
+    /// See [`sat::Solver::freeze_var`] for the underlying contract.
+    pub fn freeze(&mut self, l: Lit) {
+        self.solver.freeze(l);
+    }
+
+    /// Runs the solver's incremental-safe simplification pipeline
+    /// ([`sat::Solver::simplify_with`]) and then purges every structural-hash
+    /// entry that refers to an eliminated variable, so a later identical gate
+    /// request re-encodes with a fresh output instead of resurrecting a
+    /// variable whose defining clauses are gone.
+    ///
+    /// Returns `false` if simplification proved the formula unsatisfiable.
+    pub fn simplify(&mut self, config: &SimplifyConfig) -> bool {
+        let ok = self.solver.simplify_with(config);
+        let solver = &self.solver;
+        self.structural.retain(|key, out| {
+            !solver.is_eliminated(out.var()) && !key.any_lit(|l| solver.is_eliminated(l.var()))
+        });
+        ok
     }
 
     /// Literal that is constrained to be true.

@@ -34,6 +34,12 @@ pub struct UnrollOptions {
     /// netlist signal in every frame (the pre-compiler baseline). Used by
     /// benchmarks and differential tests; real proofs keep this `false`.
     pub eager_encoding: bool,
+    /// When `true`, skip the incremental-safe CNF simplification pipeline
+    /// that otherwise runs before a solve whenever the clause database has
+    /// grown substantially (e.g. after a bound extension). Kept as an escape
+    /// hatch for differential testing and the `solver_stats` benchmark; real
+    /// proofs keep this `false`.
+    pub no_simplify: bool,
 }
 
 impl UnrollOptions {
@@ -59,6 +65,12 @@ impl UnrollOptions {
     /// Disables the transition-relation compiler (baseline encoding).
     pub fn eager(mut self) -> Self {
         self.eager_encoding = true;
+        self
+    }
+
+    /// Disables the CNF simplification pipeline (baseline solving).
+    pub fn no_simplify(mut self) -> Self {
+        self.no_simplify = true;
         self
     }
 }
@@ -120,6 +132,10 @@ pub struct Unrolling<'n> {
     frame0_aliases: HashMap<usize, SignalId>,
     /// Total slot instances encoded across all frames.
     encoded_slots: usize,
+    /// Problem-clause count at the end of the last simplification run, used
+    /// to decide when the database has grown enough to be worth another
+    /// pass.
+    clauses_at_last_simplify: usize,
 }
 
 #[derive(Debug)]
@@ -310,6 +326,7 @@ impl<'n> Unrolling<'n> {
             backend,
             frame0_aliases,
             encoded_slots: 0,
+            clauses_at_last_simplify: 0,
         };
         unrolling.extend_to(0);
         unrolling
@@ -426,6 +443,9 @@ impl<'n> Unrolling<'n> {
         let mut frame: Vec<Vec<Lit>> = Vec::with_capacity(self.netlist.len());
         for id in self.netlist.signals() {
             let lits = self.encode_netlist_node(t, id, &frame);
+            for &l in &lits {
+                self.gates.freeze(l);
+            }
             frame.push(lits);
         }
         self.encoded_slots += frame.len();
@@ -520,6 +540,13 @@ impl<'n> Unrolling<'n> {
             }
             if all_ready {
                 let lits = self.encode_slot(f, s);
+                // Slot literals outlive this encoding step: deeper frames
+                // read them through register feedback, later queries reach
+                // them as dependencies, and model extraction reads them
+                // after a solve. They must survive CNF simplification.
+                for &l in &lits {
+                    self.gates.freeze(l);
+                }
                 match &mut self.backend {
                     Backend::Compiled { frames, .. } => frames[f][s as usize] = Some(lits),
                     Backend::Eager { .. } => unreachable!(),
@@ -974,7 +1001,11 @@ impl<'n> Unrolling<'n> {
             .zip(b_lits)
             .map(|(x, y)| self.gates.xnor(x, y))
             .collect();
-        Ok(self.gates.and_many(&bits))
+        let out = self.gates.and_many(&bits);
+        // The caller holds on to this literal across solves and possibly
+        // across simplification runs.
+        self.gates.freeze(out);
+        Ok(out)
     }
 
     /// Adds an arbitrary clause over previously obtained literals.
@@ -986,9 +1017,13 @@ impl<'n> Unrolling<'n> {
     }
 
     /// Allocates a fresh free literal (useful for selector/relaxation
-    /// variables in iterative flows).
+    /// variables in iterative flows). The literal is frozen: it survives CNF
+    /// simplification, so it can be assumed or constrained at any later
+    /// point of the session.
     pub fn fresh_lit(&mut self) -> Lit {
-        self.gates.fresh()
+        let l = self.gates.fresh();
+        self.gates.freeze(l);
+        l
     }
 
     /// Adds a clause guarded by an activation literal: the clause only bites
@@ -1019,13 +1054,41 @@ impl<'n> Unrolling<'n> {
     }
 
     /// Runs the SAT solver under the given assumption literals.
+    ///
+    /// Unless [`UnrollOptions::no_simplify`] is set, the incremental-safe
+    /// CNF simplification pipeline runs first whenever the clause database
+    /// has grown substantially since the last pass — in practice: once per
+    /// bound extension, after the new frames' clauses have been encoded.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.maybe_simplify();
         self.gates.solver_mut().solve_with_assumptions(assumptions)
+    }
+
+    /// Runs the simplifier if the problem-clause count has grown enough
+    /// since the last run to make another pass worthwhile (at least 512 new
+    /// clauses and at least an eighth of the database).
+    fn maybe_simplify(&mut self) {
+        if self.options.no_simplify {
+            return;
+        }
+        let clauses = self.gates.solver().num_clauses();
+        let grown = clauses.saturating_sub(self.clauses_at_last_simplify);
+        if grown < 512 || grown * 8 < clauses {
+            return;
+        }
+        self.gates.simplify(&sat::SimplifyConfig::default());
+        self.clauses_at_last_simplify = self.gates.solver().num_clauses();
     }
 
     /// Conflict statistics of the underlying solver.
     pub fn solver_stats(&self) -> sat::SolverStats {
         self.gates.solver().stats()
+    }
+
+    /// Counters of the CNF simplification pipeline (all zero when
+    /// [`UnrollOptions::no_simplify`] disabled it).
+    pub fn simplify_stats(&self) -> sat::SimplifyStats {
+        self.gates.solver().simplify_stats()
     }
 
     /// Reads the value of a signal in a frame from a model.

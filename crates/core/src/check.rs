@@ -21,6 +21,10 @@ pub struct UpecOptions {
     /// Bypass the transition-relation compiler and encode the miter eagerly
     /// (the pre-compiler baseline; used by the `compile_stats` benchmark).
     pub eager_encoding: bool,
+    /// Skip the solver's incremental-safe CNF simplification pipeline (the
+    /// pre-simplifier baseline; used by the `solver_stats` benchmark and
+    /// differential tests). Real proofs keep this `false`.
+    pub no_simplify: bool,
 }
 
 impl UpecOptions {
@@ -31,6 +35,7 @@ impl UpecOptions {
             conflict_limit: None,
             from_reset_state: false,
             eager_encoding: false,
+            no_simplify: false,
         }
     }
 
@@ -49,6 +54,12 @@ impl UpecOptions {
     /// Switches to the eager (compiler-bypassing) encoding baseline.
     pub fn eager(mut self) -> Self {
         self.eager_encoding = true;
+        self
+    }
+
+    /// Disables CNF simplification (the pre-simplifier solving baseline).
+    pub fn no_simplify(mut self) -> Self {
+        self.no_simplify = true;
         self
     }
 }
@@ -136,6 +147,20 @@ impl UpecOutcome {
     pub fn stats(&self) -> UpecStats {
         match self {
             UpecOutcome::Proven(s) | UpecOutcome::Violated(_, s) | UpecOutcome::Unknown(s) => *s,
+        }
+    }
+
+    /// Short stable name of the verdict (`"proven"`, `"p-alert"`,
+    /// `"l-alert"` or `"unknown"`), shared by the bench binaries and the
+    /// differential tests.
+    pub fn verdict_name(&self) -> &'static str {
+        match self {
+            UpecOutcome::Proven(_) => "proven",
+            UpecOutcome::Unknown(_) => "unknown",
+            UpecOutcome::Violated(alert, _) => match alert.kind {
+                AlertKind::PAlert => "p-alert",
+                AlertKind::LAlert => "l-alert",
+            },
         }
     }
 }

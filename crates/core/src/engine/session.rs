@@ -73,6 +73,7 @@ impl<'m> IncrementalSession<'m> {
             use_initial_values: options.from_reset_state,
             conflict_limit: options.conflict_limit,
             eager_encoding: options.eager_encoding,
+            no_simplify: options.no_simplify,
         };
         let aliases = frame0_aliases(model, options.from_reset_state);
         let mut unrolling = if options.eager_encoding {
@@ -127,6 +128,13 @@ impl<'m> IncrementalSession<'m> {
     /// size, encoded slot instances and CNF size (see [`bmc::EncodeStats`]).
     pub fn encode_stats(&self) -> bmc::EncodeStats {
         self.unrolling.encode_stats()
+    }
+
+    /// Counters of the CNF simplification pipeline (variables eliminated,
+    /// clauses subsumed, …; all zero when [`UpecOptions::no_simplify`]
+    /// disabled it). See [`sat::SimplifyStats`].
+    pub fn simplify_stats(&self) -> sat::SimplifyStats {
+        self.unrolling.simplify_stats()
     }
 
     /// Checks the UPEC property at bound `k` with the obligation restricted
@@ -255,6 +263,13 @@ mod tests {
     /// through one session must spend measurably fewer conflicts and
     /// propagations than `k` independent solve-from-scratch checks of the
     /// same bounds.
+    ///
+    /// Both sides run with `no_simplify` so the comparison isolates the
+    /// incremental-reuse property this test pins: the CNF simplifier
+    /// perturbs conflict counts in both directions (probing propagations,
+    /// resolvent clauses), which would turn the comparison into a test of
+    /// the simplifier's mood rather than of state reuse. The simplified
+    /// path's own regression is `simplified_walk_matches_fresh_solves`.
     #[test]
     fn incremental_walk_beats_independent_solves() {
         // The Meltdown-style miter produces a P-alert at every bound, so each
@@ -263,13 +278,14 @@ mod tests {
         // alone would teach the solver nothing and the comparison would tie.)
         let model = UpecModel::new(&tiny(SocVariant::MeltdownStyle), SecretScenario::InCache);
         let commitment = full_commitment(&model);
+        let options = UpecOptions::window(0).no_simplify();
         let max_k = 3;
 
         // k independent from-scratch solves.
         let mut scratch_conflicts = 0u64;
         let mut scratch_propagations = 0u64;
         for k in 1..=max_k {
-            let mut session = IncrementalSession::new(&model, None);
+            let mut session = IncrementalSession::with_options(&model, options);
             let outcome = session.check_bound(k, &commitment);
             assert!(outcome.alert().is_some(), "k={k}: {outcome:?}");
             let stats = session.solver_stats();
@@ -278,7 +294,7 @@ mod tests {
         }
 
         // One incremental session over the same bounds.
-        let mut session = IncrementalSession::new(&model, None);
+        let mut session = IncrementalSession::with_options(&model, options);
         for k in 1..=max_k {
             assert!(session.check_bound(k, &commitment).alert().is_some());
         }
@@ -317,6 +333,44 @@ mod tests {
                 assert_eq!(a.kind, b.kind, "alert kind mismatch at k={k}");
             }
         }
+    }
+
+    /// Regression for the simplifier's frozen-variable contract: with CNF
+    /// simplification on (the default), a session extended bound-by-bound
+    /// must answer exactly like fresh per-bound sessions running the
+    /// `no_simplify` baseline. A frame-boundary or trace-extraction
+    /// variable wrongly eliminated between bounds would panic or flip a
+    /// verdict here.
+    #[test]
+    fn simplified_walk_matches_fresh_solves() {
+        let model = UpecModel::new(&tiny(SocVariant::Orc), SecretScenario::InCache);
+        let commitment: BTreeSet<String> = model
+            .pairs_of_class(StateClass::Architectural)
+            .map(|p| p.name.clone())
+            .collect();
+        // Orc with the architectural obligation is proven at k=1 and
+        // L-alerts at k=2, covering both outcome paths.
+        let mut walked = IncrementalSession::new(&model, None);
+        for k in 1..=2 {
+            let walked_outcome = walked.check_bound(k, &commitment);
+            let mut fresh =
+                IncrementalSession::with_options(&model, UpecOptions::window(k).no_simplify());
+            let fresh_outcome = fresh.check_bound(k, &commitment);
+            assert_eq!(
+                walked_outcome.is_proven(),
+                fresh_outcome.is_proven(),
+                "verdict mismatch at k={k}: walked={walked_outcome:?} fresh={fresh_outcome:?}"
+            );
+            match (walked_outcome.alert(), fresh_outcome.alert()) {
+                (Some(a), Some(b)) => assert_eq!(a.kind, b.kind, "alert kind at k={k}"),
+                (None, None) => {}
+                (a, b) => panic!("k={k}: alert presence mismatch: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(
+            walked.simplify_stats().eliminated_vars > 0,
+            "the simplifier must actually have run in the walked session"
+        );
     }
 
     // Commitment shrinking mid-session (the methodology's P-alert diagnosis

@@ -295,14 +295,67 @@ pub fn registry() -> Vec<ScenarioSpec> {
     ]
 }
 
+/// The full scenario registry, in presentation order — an alias of
+/// [`registry`] whose name matches the docs-generation convention
+/// (`scenarios::all()`).
+pub fn all() -> Vec<ScenarioSpec> {
+    registry()
+}
+
 /// Looks up a scenario by its stable identifier.
 pub fn by_id(id: &str) -> Option<ScenarioSpec> {
     registry().into_iter().find(|s| s.id == id)
 }
 
+/// Renders the registry as the markdown table embedded in the repository
+/// README. A test asserts the README contains this exact rendering, so the
+/// documentation cannot drift from the registry.
+pub fn readme_table() -> String {
+    let expected = |e: Expectation| match e {
+        Expectation::Proven => "proven",
+        Expectation::PAlertsOnly => "P-alerts only",
+        Expectation::LAlert => "L-alert",
+    };
+    let mut out = String::from(
+        "| id | paper reference | windows | expected verdict | description |\n\
+         |---|---|---|---|---|\n",
+    );
+    for s in all() {
+        out.push_str(&format!(
+            "| `{}` | {} | {}–{} | {} | {} |\n",
+            s.id,
+            s.paper_ref,
+            s.start_window,
+            s.max_window,
+            expected(s.expected),
+            s.description,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The README's scenario table is generated from the registry; if this
+    /// fails, re-run `scenarios::readme_table()` and paste the output into
+    /// the README's "Scenario registry" section.
+    #[test]
+    fn readme_scenario_table_matches_registry() {
+        let readme = include_str!("../../../README.md");
+        let table = readme_table();
+        assert!(
+            readme.contains(&table),
+            "README scenario table is out of date; regenerate it with \
+             upec::scenarios::readme_table():\n{table}"
+        );
+    }
+
+    #[test]
+    fn all_is_an_alias_of_registry() {
+        assert_eq!(all(), registry());
+    }
 
     #[test]
     fn ids_are_unique_and_lookup_works() {

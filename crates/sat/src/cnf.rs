@@ -95,6 +95,17 @@ impl CnfFormula {
 
     /// Parses a formula from DIMACS CNF text.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sat::CnfFormula;
+    ///
+    /// let cnf = CnfFormula::from_dimacs("p cnf 2 2\n1 -2 0\n2 0\n").unwrap();
+    /// assert_eq!(cnf.num_vars(), 2);
+    /// assert_eq!(cnf.num_clauses(), 2);
+    /// assert_eq!(CnfFormula::from_dimacs(&cnf.to_dimacs()).unwrap(), cnf);
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns a description of the first syntax problem encountered.
@@ -144,6 +155,23 @@ impl CnfFormula {
 }
 
 /// A satisfying assignment returned by the solver.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{SatResult, Solver};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// solver.add_clause([!a]);
+/// match solver.solve() {
+///     SatResult::Sat(model) => {
+///         assert!(!model.value(a.var()));
+///         assert!(model.lit_is_true(!a));
+///     }
+///     other => panic!("expected sat, got {other:?}"),
+/// }
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Model {
     values: Vec<bool>,
@@ -177,6 +205,19 @@ impl Model {
 }
 
 /// Outcome of a satisfiability query.
+///
+/// # Examples
+///
+/// ```
+/// use sat::Solver;
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// solver.add_clause([a]);
+/// let result = solver.solve();
+/// assert!(result.is_sat() && !result.is_unsat());
+/// assert!(result.model().unwrap().lit_is_true(a));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SatResult {
     /// The formula is satisfiable; a model is provided.

@@ -20,7 +20,15 @@
 //!   `solve` calls while learned clauses, activities and phases persist;
 //!   retractable obligations via activation literals; per-call effort
 //!   accounting ([`SolverStats::delta_since`]) and a cross-thread interrupt
-//!   hook ([`Solver::set_interrupt`]) for portfolio-style cancellation.
+//!   hook ([`Solver::set_interrupt`]) for portfolio-style cancellation,
+//! * an **incremental-safe simplification pipeline** ([`Solver::simplify`]):
+//!   failed-literal probing, subsumption, self-subsuming resolution and
+//!   bounded variable elimination between solve calls, kept sound for
+//!   incremental use by a frozen-variable contract ([`Solver::freeze_var`])
+//!   and automatic model extension over eliminated variables.
+//!
+//! The architecture is documented in depth in `docs/solver.md` at the
+//! repository root.
 //!
 //! # Example
 //!
@@ -35,12 +43,14 @@
 //! assert!(matches!(solver.solve(), SatResult::Sat(m) if m.lit_is_true(y)));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cnf;
 mod lit;
+mod simplify;
 mod solver;
 
 pub use cnf::{CnfFormula, Model, SatResult};
 pub use lit::{LBool, Lit, Var};
+pub use simplify::{SimplifyConfig, SimplifyStats};
 pub use solver::{Solver, SolverStats};

@@ -6,6 +6,17 @@ use std::fmt;
 ///
 /// Variables are allocated densely by [`Solver::new_var`](crate::Solver::new_var)
 /// starting at index 0.
+///
+/// # Examples
+///
+/// ```
+/// use sat::Var;
+///
+/// let v = Var::from_index(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.positive().var(), v);
+/// assert_eq!(!v.negative(), v.positive());
+/// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Var(pub(crate) u32);
 
@@ -47,6 +58,18 @@ impl fmt::Display for Var {
 ///
 /// Internally encoded as `2*var + (negated as usize)`, the usual MiniSat-style
 /// packing that allows literals to index watch lists directly.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{Lit, Var};
+///
+/// let l = Lit::new(Var::from_index(2), true);
+/// assert!(l.is_positive());
+/// assert!(!(!l).is_positive());
+/// assert_eq!(l.to_dimacs(), 3);
+/// assert_eq!(Lit::from_dimacs(-3), !l);
+/// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Lit(pub(crate) u32);
 
@@ -123,6 +146,16 @@ impl fmt::Display for Lit {
 }
 
 /// Truth value of a variable or literal during search.
+///
+/// # Examples
+///
+/// ```
+/// use sat::LBool;
+///
+/// assert_eq!(LBool::from_bool(true), LBool::True);
+/// assert_eq!(LBool::True.negate(), LBool::False);
+/// assert!(!LBool::Undef.is_assigned());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LBool {
     /// Assigned true.

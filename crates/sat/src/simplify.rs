@@ -1,0 +1,969 @@
+//! Incremental-safe CNF simplification.
+//!
+//! This module adds a SatELite-style preprocessing pipeline to the
+//! [`Solver`]: top-level clause cleanup, failed-literal probing, subsumption
+//! with self-subsuming resolution, and bounded variable elimination (BVE).
+//! Unlike a one-shot preprocessor it is designed to run *between* the solve
+//! calls of an incremental session — the unroller in the `bmc` crate invokes
+//! it after every bound extension — which imposes one extra contract:
+//!
+//! # The frozen-variable contract
+//!
+//! Variable elimination removes every clause containing an eliminated
+//! variable and replaces them by their resolvents. That is only sound if the
+//! variable never appears again: not in a later [`Solver::add_clause`], not
+//! in the assumptions of a later [`Solver::solve_with_assumptions`], and not
+//! in a model read that must reflect the variable's defining clauses.
+//! Callers therefore [`Solver::freeze_var`] (or [`Solver::freeze`]) every
+//! variable that can outlive the current clause set — in the UPEC unrolling
+//! these are the frame-boundary slot literals, activation literals and
+//! trace-extraction variables — and the simplifier refuses to eliminate
+//! frozen variables. Adding a clause or assuming a literal over an
+//! eliminated variable panics: it is a programming error, not a recoverable
+//! condition.
+//!
+//! Satisfying assignments are *extended* back over eliminated variables: the
+//! clauses removed by each elimination are kept on an extension stack and
+//! replayed in reverse elimination order after every SAT answer, so
+//! [`crate::Model`] values remain correct for every variable the caller ever
+//! saw.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::{Solver, SimplifyConfig};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var().positive();
+//! let t = solver.new_var().positive(); // Tseitin-style internal variable
+//! let y = solver.new_var().positive();
+//! // t <-> (x AND y), plus an obligation on t.
+//! solver.add_clause([!t, x]);
+//! solver.add_clause([!t, y]);
+//! solver.add_clause([t, !x, !y]);
+//! solver.add_clause([t]);
+//! // x and y are observed later; t is internal and may be eliminated.
+//! solver.freeze(x);
+//! solver.freeze(y);
+//! assert!(solver.simplify_with(&SimplifyConfig::default()));
+//! let model = solver.solve();
+//! let m = model.model().expect("sat");
+//! assert!(m.lit_is_true(x) && m.lit_is_true(y));
+//! assert!(m.lit_is_true(t)); // extension reconstructs eliminated variables
+//! ```
+
+use crate::{LBool, Lit, Solver, Var};
+
+/// Tuning knobs of the simplification pipeline.
+///
+/// The defaults are chosen for the Tseitin-encoded unrollings produced by
+/// the `bmc` crate: clauses are short, internal gate variables occur a
+/// handful of times, and simplification runs once per bound extension.
+///
+/// # Examples
+///
+/// ```
+/// use sat::SimplifyConfig;
+///
+/// let config = SimplifyConfig {
+///     failed_literals: false, // skip probing for a cheaper pass
+///     ..SimplifyConfig::default()
+/// };
+/// assert!(config.var_elim && config.subsumption);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplifyConfig {
+    /// Run bounded variable elimination.
+    pub var_elim: bool,
+    /// Run subsumption and self-subsuming resolution.
+    pub subsumption: bool,
+    /// Run failed-literal probing at the top level.
+    pub failed_literals: bool,
+    /// A variable is an elimination candidate only if each polarity occurs
+    /// in at most this many clauses.
+    pub elim_occurrence_limit: usize,
+    /// Allowed growth of the clause count per eliminated variable
+    /// (0 = classic "never grow" rule).
+    pub elim_grow: usize,
+    /// Skip eliminating a variable if any resolvent would exceed this many
+    /// literals.
+    pub resolvent_size_limit: usize,
+    /// Clauses longer than this are not tried as subsumers.
+    pub subsumption_size_limit: usize,
+    /// Propagation budget for failed-literal probing, per `simplify` call.
+    pub failed_literal_propagations: u64,
+}
+
+impl Default for SimplifyConfig {
+    fn default() -> Self {
+        Self {
+            var_elim: true,
+            subsumption: true,
+            failed_literals: true,
+            elim_occurrence_limit: 10,
+            elim_grow: 0,
+            resolvent_size_limit: 20,
+            subsumption_size_limit: 20,
+            failed_literal_propagations: 100_000,
+        }
+    }
+}
+
+/// Counters accumulated over every [`Solver::simplify`] call of a solver's
+/// lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use sat::Solver;
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// solver.add_clause([a]);
+/// assert!(solver.simplify());
+/// assert_eq!(solver.simplify_stats().rounds, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Number of completed `simplify` calls.
+    pub rounds: u64,
+    /// Clauses removed because they were satisfied at the top level.
+    pub removed_clauses: u64,
+    /// Literals removed from clauses (top-level falsified literals plus
+    /// self-subsuming resolution).
+    pub strengthened_lits: u64,
+    /// Clauses removed by subsumption.
+    pub subsumed_clauses: u64,
+    /// Variables removed by bounded variable elimination.
+    pub eliminated_vars: u64,
+    /// Resolvent clauses added by variable elimination.
+    pub resolvent_clauses: u64,
+    /// Top-level units learned by failed-literal probing.
+    pub failed_literals: u64,
+    /// Learned clauses dropped because they mentioned an eliminated variable.
+    pub dropped_learnts: u64,
+}
+
+/// One eliminated variable together with the clauses its elimination
+/// removed, kept for model extension.
+#[derive(Debug, Clone)]
+pub(crate) struct ExtensionEntry {
+    pub(crate) var: Var,
+    pub(crate) clauses: Vec<Vec<Lit>>,
+}
+
+/// A clause lifted out of the solver's arena while the pipeline transforms
+/// the database.
+#[derive(Debug)]
+struct SimpClause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    lbd: u32,
+    deleted: bool,
+}
+
+/// Outcome of a subsumption check between a potential subsumer `c` and a
+/// victim `d`.
+enum SubsumeResult {
+    /// `c ⊆ d`: `d` is redundant.
+    Subsume,
+    /// `c` subsumes `d` except for one flipped literal: that literal (as it
+    /// appears in `d`) can be removed from `d`.
+    Strengthen(Lit),
+    /// Neither.
+    None,
+}
+
+impl Solver {
+    /// Marks a variable as *frozen*: the simplifier will never eliminate it,
+    /// so it stays legal in clauses, assumptions and model reads added after
+    /// a [`Solver::simplify`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable has already been eliminated — freezing must
+    /// happen before the simplification that would remove the variable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sat::Solver;
+    ///
+    /// let mut solver = Solver::new();
+    /// let v = solver.new_var();
+    /// solver.freeze_var(v);
+    /// assert!(solver.is_frozen(v));
+    /// ```
+    pub fn freeze_var(&mut self, var: Var) {
+        assert!(
+            !self.eliminated[var.index()],
+            "variable {var} is already eliminated and cannot be frozen"
+        );
+        self.frozen[var.index()] = true;
+    }
+
+    /// [`Solver::freeze_var`] for a literal's variable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sat::Solver;
+    ///
+    /// let mut solver = Solver::new();
+    /// let l = solver.new_var().positive();
+    /// solver.freeze(l);
+    /// assert!(solver.is_frozen(l.var()));
+    /// ```
+    pub fn freeze(&mut self, lit: Lit) {
+        self.freeze_var(lit.var());
+    }
+
+    /// Whether a variable is frozen (exempt from elimination).
+    pub fn is_frozen(&self, var: Var) -> bool {
+        self.frozen[var.index()]
+    }
+
+    /// Whether a variable has been removed by bounded variable elimination.
+    ///
+    /// Eliminated variables must not appear in new clauses or assumptions;
+    /// their model values are reconstructed automatically.
+    pub fn is_eliminated(&self, var: Var) -> bool {
+        self.eliminated[var.index()]
+    }
+
+    /// Simplification counters accumulated so far.
+    pub fn simplify_stats(&self) -> SimplifyStats {
+        self.simp_stats
+    }
+
+    /// Runs the simplification pipeline with the default configuration.
+    ///
+    /// Returns `false` if simplification proved the formula unsatisfiable
+    /// (the solver then answers [`crate::SatResult::Unsat`] forever), `true`
+    /// otherwise.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sat::Solver;
+    ///
+    /// let mut solver = Solver::new();
+    /// let a = solver.new_var().positive();
+    /// let b = solver.new_var().positive();
+    /// solver.freeze(a);
+    /// solver.add_clause([a, b]);
+    /// solver.add_clause([a, !b]);
+    /// assert!(solver.simplify()); // still satisfiable
+    /// assert!(solver.solve().is_sat());
+    /// ```
+    pub fn simplify(&mut self) -> bool {
+        self.simplify_with(&SimplifyConfig::default())
+    }
+
+    /// Runs the simplification pipeline with an explicit configuration. See
+    /// [`Solver::simplify`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver is mid-search (decision level
+    /// above 0); `simplify` belongs between `solve` calls.
+    pub fn simplify_with(&mut self, config: &SimplifyConfig) -> bool {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "simplify may only run between solve calls, at decision level 0"
+        );
+        if !self.ok {
+            return false;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        self.simp_stats.rounds += 1;
+
+        if config.failed_literals && !self.probe_failed_literals(config) {
+            self.ok = false;
+            return false;
+        }
+
+        let mut clauses = self.extract_clauses();
+        if !self.clean_until_fixpoint(&mut clauses) {
+            self.ok = false;
+            return false;
+        }
+        if config.subsumption {
+            if !self.subsume_pass(&mut clauses, config) {
+                self.ok = false;
+                return false;
+            }
+            if !self.clean_until_fixpoint(&mut clauses) {
+                self.ok = false;
+                return false;
+            }
+        }
+        if config.var_elim {
+            if !self.eliminate_pass(&mut clauses, config) {
+                self.ok = false;
+                return false;
+            }
+            if !self.clean_until_fixpoint(&mut clauses) {
+                self.ok = false;
+                return false;
+            }
+        }
+        self.rebuild(clauses);
+        true
+    }
+
+    /// Probes unassigned variables: if assuming a literal leads to a
+    /// conflict by propagation alone, its negation is a top-level fact.
+    ///
+    /// Probing assigns (and retracts) large parts of the formula, which
+    /// would overwrite the saved phases that give an incremental session its
+    /// warm start; the phase array is therefore restored afterwards.
+    fn probe_failed_literals(&mut self, config: &SimplifyConfig) -> bool {
+        let saved_phases = self.phase.clone();
+        let budget_start = self.stats.propagations;
+        let mut consistent = true;
+        'vars: for vi in 0..self.num_vars() {
+            if self.stats.propagations.saturating_sub(budget_start)
+                > config.failed_literal_propagations
+            {
+                break;
+            }
+            if self.assigns[vi] != LBool::Undef || self.eliminated[vi] {
+                continue;
+            }
+            let var = Var::from_index(vi);
+            for positive in [true, false] {
+                if self.assigns[vi] != LBool::Undef {
+                    break;
+                }
+                let probe = Lit::new(var, positive);
+                // A literal with no watchers cannot propagate, let alone
+                // fail.
+                if self.watches[probe.code()].is_empty() {
+                    continue;
+                }
+                self.push_decision(probe);
+                let conflict = self.propagate().is_some();
+                self.backtrack_to(0);
+                if conflict {
+                    self.simp_stats.failed_literals += 1;
+                    self.enqueue(!probe, None);
+                    if self.propagate().is_some() {
+                        consistent = false;
+                        break 'vars;
+                    }
+                }
+            }
+        }
+        self.phase = saved_phases;
+        consistent
+    }
+
+    /// Lifts every live clause out of the arena. The old database stays in
+    /// place (propagation during the pipeline still uses it — every fact it
+    /// derives is implied by the original formula, so this is sound) and is
+    /// discarded wholesale by [`Solver::rebuild`].
+    fn extract_clauses(&self) -> Vec<SimpClause> {
+        self.headers
+            .iter()
+            .filter(|h| !h.deleted)
+            .map(|h| SimpClause {
+                lits: self.clause_lits[h.start as usize..(h.start + h.len) as usize].to_vec(),
+                learnt: h.learnt,
+                activity: h.activity,
+                lbd: h.lbd,
+                deleted: false,
+            })
+            .collect()
+    }
+
+    /// Removes satisfied clauses, strips falsified literals and propagates
+    /// any units this uncovers, until nothing changes. Returns `false` on
+    /// unsatisfiability.
+    fn clean_until_fixpoint(&mut self, clauses: &mut [SimpClause]) -> bool {
+        loop {
+            if self.propagate().is_some() {
+                return false;
+            }
+            let trail_before = self.trail.len();
+            for c in clauses.iter_mut() {
+                if c.deleted {
+                    continue;
+                }
+                let mut satisfied = false;
+                let mut i = 0;
+                while i < c.lits.len() {
+                    match self.value_lit(c.lits[i]) {
+                        LBool::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        LBool::False => {
+                            c.lits.swap_remove(i);
+                            self.simp_stats.strengthened_lits += 1;
+                        }
+                        LBool::Undef => i += 1,
+                    }
+                }
+                if satisfied {
+                    c.deleted = true;
+                    self.simp_stats.removed_clauses += 1;
+                    continue;
+                }
+                match c.lits.len() {
+                    0 => return false,
+                    1 => {
+                        // Learned units are implied facts too, so both kinds
+                        // may be promoted to the trail.
+                        if self.value_lit(c.lits[0]) == LBool::Undef {
+                            self.enqueue(c.lits[0], None);
+                        }
+                        c.deleted = true;
+                    }
+                    _ => {}
+                }
+            }
+            if self.trail.len() == trail_before {
+                return true;
+            }
+        }
+    }
+
+    /// Subsumption and self-subsuming resolution over the problem clauses.
+    /// Returns `false` on unsatisfiability (a clause strengthened down to a
+    /// falsified unit).
+    fn subsume_pass(&mut self, clauses: &mut [SimpClause], config: &SimplifyConfig) -> bool {
+        let signature = |lits: &[Lit]| -> u64 {
+            lits.iter()
+                .fold(0u64, |sig, l| sig | 1u64 << (l.var().index() & 63))
+        };
+        let mut sigs: Vec<u64> = clauses.iter().map(|c| signature(&c.lits)).collect();
+        let mut occur: Vec<Vec<u32>> = vec![Vec::new(); 2 * self.num_vars()];
+        for (i, c) in clauses.iter().enumerate() {
+            if c.deleted || c.learnt {
+                continue;
+            }
+            for &l in &c.lits {
+                occur[l.code()].push(i as u32);
+            }
+        }
+        let mut order: Vec<u32> = (0..clauses.len() as u32)
+            .filter(|&i| {
+                let c = &clauses[i as usize];
+                !c.deleted && !c.learnt && c.lits.len() <= config.subsumption_size_limit
+            })
+            .collect();
+        order.sort_by_key(|&i| clauses[i as usize].lits.len());
+
+        for &ci in &order {
+            if clauses[ci as usize].deleted {
+                continue;
+            }
+            // Scan the occurrence lists of the rarest literal — both
+            // polarities, so self-subsumption on that literal is found too.
+            let Some(&best) = clauses[ci as usize]
+                .lits
+                .iter()
+                .min_by_key(|l| occur[l.code()].len())
+            else {
+                continue;
+            };
+            for scan in [best, !best] {
+                // The occurrence lists are fixed here (they only grow in
+                // `eliminate_pass`); stale entries are filtered below.
+                for &candidate in &occur[scan.code()] {
+                    let di = candidate as usize;
+                    if di == ci as usize || clauses[di].deleted {
+                        continue;
+                    }
+                    if clauses[di].lits.len() < clauses[ci as usize].lits.len() {
+                        continue;
+                    }
+                    // Signature prefilter: every variable of c must appear
+                    // in d.
+                    if sigs[ci as usize] & !sigs[di] != 0 {
+                        continue;
+                    }
+                    // Occurrence entries go stale when a clause is
+                    // strengthened; verify membership.
+                    if !clauses[di].lits.contains(&scan) {
+                        continue;
+                    }
+                    match subsume_check(&clauses[ci as usize].lits, &clauses[di].lits) {
+                        SubsumeResult::Subsume => {
+                            clauses[di].deleted = true;
+                            self.simp_stats.subsumed_clauses += 1;
+                        }
+                        SubsumeResult::Strengthen(flipped) => {
+                            let pos = clauses[di]
+                                .lits
+                                .iter()
+                                .position(|&l| l == flipped)
+                                .expect("strengthened literal is in the victim");
+                            clauses[di].lits.swap_remove(pos);
+                            sigs[di] = signature(&clauses[di].lits);
+                            self.simp_stats.strengthened_lits += 1;
+                            if clauses[di].lits.len() == 1 {
+                                let unit = clauses[di].lits[0];
+                                clauses[di].deleted = true;
+                                match self.value_lit(unit) {
+                                    LBool::False => return false,
+                                    LBool::Undef => {
+                                        self.enqueue(unit, None);
+                                        if self.propagate().is_some() {
+                                            return false;
+                                        }
+                                    }
+                                    LBool::True => {}
+                                }
+                            }
+                        }
+                        SubsumeResult::None => {}
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Bounded variable elimination. Returns `false` on unsatisfiability.
+    fn eliminate_pass(&mut self, clauses: &mut Vec<SimpClause>, config: &SimplifyConfig) -> bool {
+        let mut occur: Vec<Vec<u32>> = vec![Vec::new(); 2 * self.num_vars()];
+        for (i, c) in clauses.iter().enumerate() {
+            if c.deleted || c.learnt {
+                continue;
+            }
+            for &l in &c.lits {
+                occur[l.code()].push(i as u32);
+            }
+        }
+        // Cheapest candidates first: fewest occurrences total.
+        let mut candidates: Vec<(usize, Var)> = (0..self.num_vars())
+            .filter(|&vi| {
+                !self.frozen[vi] && !self.eliminated[vi] && self.assigns[vi] == LBool::Undef
+            })
+            .map(|vi| {
+                let v = Var::from_index(vi);
+                let total = occur[v.positive().code()].len() + occur[v.negative().code()].len();
+                (total, v)
+            })
+            .filter(|&(total, _)| total > 0)
+            .collect();
+        candidates.sort_unstable_by_key(|&(total, v)| (total, v));
+
+        for (_, v) in candidates {
+            if self.assigns[v.index()] != LBool::Undef {
+                continue; // assigned meanwhile by a unit resolvent
+            }
+            let live = |occ: &[u32], clauses: &[SimpClause]| -> Vec<u32> {
+                occ.iter()
+                    .copied()
+                    .filter(|&i| !clauses[i as usize].deleted)
+                    .collect()
+            };
+            let pos = live(&occur[v.positive().code()], clauses);
+            let neg = live(&occur[v.negative().code()], clauses);
+            if pos.is_empty() && neg.is_empty() {
+                continue;
+            }
+            if pos.len() > config.elim_occurrence_limit || neg.len() > config.elim_occurrence_limit
+            {
+                continue;
+            }
+            // Gather the non-tautological resolvents, giving up as soon as
+            // the elimination would grow the clause set beyond the budget.
+            let budget = pos.len() + neg.len() + config.elim_grow;
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut too_costly = false;
+            'resolution: for &pi in &pos {
+                for &ni in &neg {
+                    if let Some(r) =
+                        resolve(&clauses[pi as usize].lits, &clauses[ni as usize].lits, v)
+                    {
+                        if r.len() > config.resolvent_size_limit {
+                            too_costly = true;
+                            break 'resolution;
+                        }
+                        resolvents.push(r);
+                        if resolvents.len() > budget {
+                            too_costly = true;
+                            break 'resolution;
+                        }
+                    }
+                }
+            }
+            if too_costly {
+                continue;
+            }
+
+            // Commit: remove the variable's clauses (keeping them for model
+            // extension), add the resolvents.
+            let mut removed = Vec::with_capacity(pos.len() + neg.len());
+            for &i in pos.iter().chain(&neg) {
+                let c = &mut clauses[i as usize];
+                c.deleted = true;
+                removed.push(c.lits.clone());
+            }
+            self.extension.push(ExtensionEntry {
+                var: v,
+                clauses: removed,
+            });
+            self.eliminated[v.index()] = true;
+            self.simp_stats.eliminated_vars += 1;
+            for r in resolvents {
+                match r.len() {
+                    0 => return false,
+                    1 => match self.value_lit(r[0]) {
+                        LBool::False => return false,
+                        LBool::Undef => {
+                            self.enqueue(r[0], None);
+                            if self.propagate().is_some() {
+                                return false;
+                            }
+                        }
+                        LBool::True => {}
+                    },
+                    _ => {
+                        let idx = clauses.len() as u32;
+                        for &l in &r {
+                            occur[l.code()].push(idx);
+                        }
+                        clauses.push(SimpClause {
+                            lits: r,
+                            learnt: false,
+                            activity: 0.0,
+                            lbd: 0,
+                            deleted: false,
+                        });
+                        self.simp_stats.resolvent_clauses += 1;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Replaces the solver's clause database with the transformed clause
+    /// set, rebuilding every watch list (this also compacts the arena holes
+    /// left by deleted clauses).
+    fn rebuild(&mut self, clauses: Vec<SimpClause>) {
+        self.headers.clear();
+        self.clause_lits.clear();
+        for w in &mut self.watches {
+            w.clear();
+        }
+        self.num_learnts = 0;
+        // All trail entries are top-level facts now; their reasons pointed
+        // into the old database.
+        for i in 0..self.trail.len() {
+            let vi = self.trail[i].var().index();
+            self.var_data[vi].reason = None;
+        }
+        for c in clauses {
+            if c.deleted {
+                continue;
+            }
+            if c.learnt && c.lits.iter().any(|l| self.eliminated[l.var().index()]) {
+                self.simp_stats.dropped_learnts += 1;
+                continue;
+            }
+            debug_assert!(
+                c.lits.len() >= 2,
+                "cleaned clauses are at least binary (units live on the trail)"
+            );
+            debug_assert!(
+                c.learnt || c.lits.iter().all(|l| !self.eliminated[l.var().index()]),
+                "problem clauses never mention eliminated variables"
+            );
+            let activity = c.activity;
+            let lbd = c.lbd;
+            let learnt = c.learnt;
+            let cref = self.attach_clause(c.lits, learnt);
+            self.headers[cref as usize].activity = activity;
+            self.headers[cref as usize].lbd = lbd;
+        }
+        self.stats.learnt_clauses = self.num_learnts as u64;
+        // Every remaining clause was cleaned against the final trail, so
+        // nothing is pending propagation.
+        self.qhead = self.trail.len();
+    }
+
+    /// Completes a model over eliminated variables by replaying the
+    /// extension stack in reverse elimination order. Each stored clause not
+    /// already satisfied by the other literals forces its variable; the
+    /// resolvents kept in the formula guarantee no two clauses force
+    /// opposite values.
+    pub(crate) fn extend_model(&self, values: &mut [bool]) {
+        for entry in self.extension.iter().rev() {
+            for clause in &entry.clauses {
+                let mut satisfied = false;
+                let mut own_lit = None;
+                for &l in clause {
+                    if l.var() == entry.var {
+                        own_lit = Some(l);
+                        continue;
+                    }
+                    if values[l.var().index()] == l.is_positive() {
+                        satisfied = true;
+                        break;
+                    }
+                }
+                if !satisfied {
+                    if let Some(l) = own_lit {
+                        values[entry.var.index()] = l.is_positive();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks whether `c` subsumes `d`, possibly up to one flipped literal
+/// (self-subsuming resolution).
+fn subsume_check(c: &[Lit], d: &[Lit]) -> SubsumeResult {
+    let mut flipped: Option<Lit> = None;
+    for &lc in c {
+        if d.contains(&lc) {
+            continue;
+        }
+        if flipped.is_none() && d.contains(&!lc) {
+            flipped = Some(!lc);
+            continue;
+        }
+        return SubsumeResult::None;
+    }
+    match flipped {
+        None => SubsumeResult::Subsume,
+        Some(l) => SubsumeResult::Strengthen(l),
+    }
+}
+
+/// Resolvent of `a` and `b` on variable `v`; `None` if it is a tautology.
+fn resolve(a: &[Lit], b: &[Lit], v: Var) -> Option<Vec<Lit>> {
+    let mut out: Vec<Lit> = Vec::with_capacity(a.len() + b.len() - 2);
+    for &l in a {
+        if l.var() != v {
+            out.push(l);
+        }
+    }
+    for &l in b {
+        if l.var() == v {
+            continue;
+        }
+        if out.contains(&!l) {
+            return None;
+        }
+        if !out.contains(&l) {
+            out.push(l);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SatResult;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| solver.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn subsume_check_matrix() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        assert!(matches!(
+            subsume_check(&[v[0], v[1]], &[v[0], v[1], v[2]]),
+            SubsumeResult::Subsume
+        ));
+        assert!(matches!(
+            subsume_check(&[v[0], v[1]], &[v[0], !v[1], v[2]]),
+            SubsumeResult::Strengthen(l) if l == !v[1]
+        ));
+        assert!(matches!(
+            subsume_check(&[v[0], v[1]], &[v[0], v[2]]),
+            SubsumeResult::None
+        ));
+        // Two flips are not self-subsumption.
+        assert!(matches!(
+            subsume_check(&[v[0], v[1]], &[!v[0], !v[1], v[2]]),
+            SubsumeResult::None
+        ));
+    }
+
+    #[test]
+    fn resolve_drops_tautologies_and_duplicates() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        let a = [v[0].var().positive(), v[1], v[2]];
+        let b = [v[0].var().negative(), v[1], v[3]];
+        let r = resolve(&a, &b, v[0].var()).expect("not a tautology");
+        assert_eq!(r, vec![v[1], v[2], v[3]]);
+        let b_taut = [v[0].var().negative(), !v[1]];
+        assert!(resolve(&a, &b_taut, v[0].var()).is_none());
+    }
+
+    #[test]
+    fn elimination_preserves_satisfiability_and_extends_models() {
+        // x <-> a AND b encoded via Tseitin; x is internal and gets
+        // eliminated (all its resolvents are tautologies).
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let (a, b, x) = (v[0], v[1], v[2]);
+        s.freeze(a);
+        s.freeze(b);
+        s.add_clause([!x, a]);
+        s.add_clause([!x, b]);
+        s.add_clause([x, !a, !b]);
+        assert!(s.simplify());
+        assert!(s.is_eliminated(x.var()), "internal x must be eliminated");
+        // Pin a and b after simplification; the extension must reconstruct
+        // x = a AND b even though x's defining clauses are gone.
+        s.add_clause([a]);
+        s.add_clause([b]);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                assert!(m.lit_is_true(a));
+                assert!(m.lit_is_true(b));
+                assert!(m.lit_is_true(x), "extension must reconstruct x");
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_variables_are_never_eliminated() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        for &l in &v {
+            s.freeze(l);
+        }
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[2]]);
+        assert!(s.simplify());
+        for &l in &v {
+            assert!(!s.is_eliminated(l.var()));
+        }
+        // Clauses over frozen variables may still be added afterwards.
+        s.add_clause([!v[1], !v[2]]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn simplify_detects_top_level_conflicts() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], !v[1]]);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[0], !v[1]]);
+        // Failed-literal probing alone refutes this formula.
+        assert!(!s.simplify());
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn subsumption_removes_redundant_clauses() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        for &l in &v {
+            s.freeze(l);
+        }
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], v[1], v[2]]); // subsumed
+        s.add_clause([!v[0], v[2]]);
+        let before = s.num_clauses();
+        let config = SimplifyConfig {
+            var_elim: false,
+            failed_literals: false,
+            ..SimplifyConfig::default()
+        };
+        assert!(s.simplify_with(&config));
+        assert!(s.num_clauses() < before);
+        assert_eq!(s.simplify_stats().subsumed_clauses, 1);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn self_subsumption_strengthens_clauses() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        for &l in &v {
+            s.freeze(l);
+        }
+        // (a ∨ b) self-subsumes (a ∨ ¬b ∨ c) into (a ∨ c): resolving on b
+        // yields a clause that subsumes the original.
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], !v[1], v[2]]);
+        let config = SimplifyConfig {
+            var_elim: false,
+            failed_literals: false,
+            ..SimplifyConfig::default()
+        };
+        assert!(s.simplify_with(&config));
+        assert!(s.simplify_stats().strengthened_lits >= 1);
+        // ¬a forces b (first clause) and then c (strengthened clause).
+        let r = s.solve_with_assumptions(&[!v[0]]);
+        let m = r.model().expect("sat");
+        assert!(m.lit_is_true(v[1]));
+        assert!(m.lit_is_true(v[2]));
+    }
+
+    #[test]
+    fn eliminated_variable_in_new_clause_panics() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.freeze(v[0]);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], !v[1]]);
+        // Variable elimination alone: resolving the two clauses on v1 gives
+        // the unit (v0), and v1 is eliminated.
+        let config = SimplifyConfig {
+            subsumption: false,
+            failed_literals: false,
+            ..SimplifyConfig::default()
+        };
+        assert!(s.simplify_with(&config));
+        assert!(s.is_eliminated(v[1].var()));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s = s.clone();
+            s.add_clause([v[1]]);
+        }));
+        assert!(result.is_err(), "adding over an eliminated var must panic");
+    }
+
+    #[test]
+    fn incremental_solving_after_simplify_stays_sound() {
+        // Build a chain, simplify, then keep adding clauses over frozen
+        // variables and check answers against a never-simplified twin.
+        let mut simplified = Solver::new();
+        let mut reference = Solver::new();
+        let vs: Vec<Lit> = lits(&mut simplified, 6);
+        let vr: Vec<Lit> = lits(&mut reference, 6);
+        let clauses: Vec<Vec<usize>> = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        for c in &clauses {
+            simplified.add_clause(c.iter().map(|&i| vs[i]));
+            reference.add_clause(c.iter().map(|&i| vr[i]));
+        }
+        for &l in &vs {
+            simplified.freeze(l);
+        }
+        assert!(simplified.simplify());
+        // Add implications pinning everything down.
+        for i in 0..5 {
+            simplified.add_clause([!vs[i], vs[i + 1]]);
+            reference.add_clause([!vr[i], vr[i + 1]]);
+        }
+        assert_eq!(
+            simplified.solve_with_assumptions(&[!vs[5]]).is_sat(),
+            reference.solve_with_assumptions(&[!vr[5]]).is_sat()
+        );
+        assert_eq!(simplified.solve().is_sat(), reference.solve().is_sat());
+    }
+}

@@ -5,6 +5,7 @@
 //! lazy binary-heap decision order, phase saving, Luby restarts and periodic
 //! deletion of inactive learned clauses.
 
+use crate::simplify::{ExtensionEntry, SimplifyStats};
 use crate::{CnfFormula, LBool, Lit, Model, SatResult, Var};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,24 +72,28 @@ impl SolverStats {
 /// one pointer dereference (and most cache misses) per visited clause
 /// compared to a `Vec<Lit>` per clause.
 #[derive(Debug, Clone, Copy)]
-struct ClauseHeader {
-    start: u32,
-    len: u32,
-    learnt: bool,
-    deleted: bool,
-    activity: f64,
+pub(crate) struct ClauseHeader {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+    pub(crate) learnt: bool,
+    pub(crate) deleted: bool,
+    pub(crate) activity: f64,
+    /// Literal block distance: number of distinct decision levels in the
+    /// clause at learning time. Problem clauses carry 0; learned clauses with
+    /// `lbd <= 2` ("glue" clauses) are never deleted by database reduction.
+    pub(crate) lbd: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Watcher {
+pub(crate) struct Watcher {
     clause: u32,
     blocker: Lit,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct VarData {
-    reason: Option<u32>,
-    level: u32,
+pub(crate) struct VarData {
+    pub(crate) reason: Option<u32>,
+    pub(crate) level: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,26 +144,35 @@ impl Ord for HeapEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Solver {
-    headers: Vec<ClauseHeader>,
-    clause_lits: Vec<Lit>,
-    watches: Vec<Vec<Watcher>>,
-    assigns: Vec<LBool>,
-    var_data: Vec<VarData>,
-    trail: Vec<Lit>,
+    pub(crate) headers: Vec<ClauseHeader>,
+    pub(crate) clause_lits: Vec<Lit>,
+    pub(crate) watches: Vec<Vec<Watcher>>,
+    pub(crate) assigns: Vec<LBool>,
+    pub(crate) var_data: Vec<VarData>,
+    pub(crate) trail: Vec<Lit>,
     trail_lim: Vec<usize>,
-    qhead: usize,
+    pub(crate) qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
     clause_inc: f64,
     order: BinaryHeap<HeapEntry>,
-    phase: Vec<bool>,
+    pub(crate) phase: Vec<bool>,
     seen: Vec<bool>,
-    ok: bool,
-    stats: SolverStats,
+    pub(crate) ok: bool,
+    pub(crate) stats: SolverStats,
     conflict_limit: Option<u64>,
     interrupt: Option<Arc<AtomicBool>>,
-    num_learnts: usize,
+    pub(crate) num_learnts: usize,
     max_learnts: usize,
+    /// Variables the simplifier must never eliminate (see
+    /// [`Solver::freeze_var`]).
+    pub(crate) frozen: Vec<bool>,
+    /// Variables removed from the formula by bounded variable elimination.
+    pub(crate) eliminated: Vec<bool>,
+    /// Clauses removed by variable elimination, in elimination order, used to
+    /// extend satisfying assignments back to eliminated variables.
+    pub(crate) extension: Vec<ExtensionEntry>,
+    pub(crate) simp_stats: SimplifyStats,
 }
 
 impl Default for Solver {
@@ -191,6 +205,10 @@ impl Solver {
             interrupt: None,
             num_learnts: 0,
             max_learnts: 8192,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            extension: Vec::new(),
+            simp_stats: SimplifyStats::default(),
         }
     }
 
@@ -238,7 +256,7 @@ impl Solver {
     }
 
     /// The literals of a clause.
-    fn lits_of(&self, clause: u32) -> &[Lit] {
+    pub(crate) fn lits_of(&self, clause: u32) -> &[Lit] {
         let h = &self.headers[clause as usize];
         &self.clause_lits[h.start as usize..(h.start + h.len) as usize]
     }
@@ -259,6 +277,8 @@ impl Solver {
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.push(HeapEntry {
@@ -279,7 +299,7 @@ impl Solver {
         self.assigns[var.index()]
     }
 
-    fn value_lit(&self, lit: Lit) -> LBool {
+    pub(crate) fn value_lit(&self, lit: Lit) -> LBool {
         let v = self.assigns[lit.var().index()];
         if lit.is_positive() {
             v
@@ -288,8 +308,15 @@ impl Solver {
         }
     }
 
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
+    }
+
+    /// Pushes a new decision level (used by the simplifier's failed-literal
+    /// probes; the search loop inlines the same two steps).
+    pub(crate) fn push_decision(&mut self, lit: Lit) {
+        self.trail_lim.push(self.trail.len());
+        self.enqueue(lit, None);
     }
 
     /// Adds a clause to the solver.
@@ -318,6 +345,12 @@ impl Solver {
             assert!(
                 l.var().index() < self.num_vars(),
                 "literal {l} refers to an unallocated variable"
+            );
+            assert!(
+                !self.eliminated[l.var().index()],
+                "literal {l} refers to an eliminated variable; variables that \
+                 may appear in clauses added after `simplify` must be frozen \
+                 with `freeze_var` first"
             );
         }
         // Tautology check, then order-preserving dedup / falsified-literal
@@ -366,7 +399,7 @@ impl Solver {
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
         let idx = self.headers.len() as u32;
         let w0 = Watcher {
@@ -392,11 +425,12 @@ impl Solver {
             learnt,
             deleted: false,
             activity: 0.0,
+            lbd: 0,
         });
         idx
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+    pub(crate) fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
         debug_assert_eq!(self.value_lit(lit), LBool::Undef);
         self.assigns[lit.var().index()] = LBool::from_bool(lit.is_positive());
         self.var_data[lit.var().index()] = VarData {
@@ -406,7 +440,7 @@ impl Solver {
         self.trail.push(lit);
     }
 
-    fn propagate(&mut self) -> Option<u32> {
+    pub(crate) fn propagate(&mut self) -> Option<u32> {
         let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
@@ -573,7 +607,7 @@ impl Solver {
         (learnt, backtrack_level)
     }
 
-    fn backtrack_to(&mut self, level: u32) {
+    pub(crate) fn backtrack_to(&mut self, level: u32) {
         if self.decision_level() <= level {
             return;
         }
@@ -595,26 +629,45 @@ impl Solver {
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(entry) = self.order.pop() {
-            if self.value_var(entry.var) == LBool::Undef {
+            if self.value_var(entry.var) == LBool::Undef && !self.eliminated[entry.var.index()] {
                 return Some(entry.var);
             }
         }
         None
     }
 
+    /// Number of distinct decision levels among a clause's literals — the
+    /// "literal block distance" quality measure of Glucose. Low-LBD clauses
+    /// connect few decision levels and tend to stay useful for the rest of
+    /// the search.
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.var_data[l.var().index()].level)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
     fn reduce_db(&mut self) {
+        // Retention policy: glue clauses (LBD <= 2) are kept unconditionally;
+        // the rest are ranked worst-first by (high LBD, low activity) and the
+        // worst half deleted.
         let mut learnt_indices: Vec<usize> = self
             .headers
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.learnt && !c.deleted && c.len > 2)
+            .filter(|(_, c)| c.learnt && !c.deleted && c.len > 2 && c.lbd > 2)
             .map(|(i, _)| i)
             .collect();
         learnt_indices.sort_by(|&a, &b| {
-            self.headers[a]
-                .activity
-                .partial_cmp(&self.headers[b].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            let (ca, cb) = (&self.headers[a], &self.headers[b]);
+            cb.lbd.cmp(&ca.lbd).then_with(|| {
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
         });
         let locked: std::collections::HashSet<u32> =
             self.var_data.iter().filter_map(|d| d.reason).collect();
@@ -695,6 +748,13 @@ impl Solver {
     /// assert!(solver.solve_with_assumptions(&[!x]).is_sat()); // ... gone
     /// ```
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        for a in assumptions {
+            assert!(
+                !self.eliminated[a.var().index()],
+                "assumption {a} refers to an eliminated variable; assumption \
+                 variables must be frozen before `simplify`"
+            );
+        }
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -715,19 +775,19 @@ impl Solver {
             let budget = restart_base * Self::luby(restart_count);
             match self.search(budget, assumptions, conflict_start) {
                 SearchOutcome::Sat => {
-                    let model = Model::new(
-                        self.assigns
-                            .iter()
-                            .enumerate()
-                            .map(|(i, v)| match v {
-                                LBool::True => true,
-                                LBool::False => false,
-                                LBool::Undef => self.phase[i],
-                            })
-                            .collect(),
-                    );
+                    let mut values: Vec<bool> = self
+                        .assigns
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| match v {
+                            LBool::True => true,
+                            LBool::False => false,
+                            LBool::Undef => self.phase[i],
+                        })
+                        .collect();
+                    self.extend_model(&mut values);
                     self.backtrack_to(0);
-                    return SatResult::Sat(model);
+                    return SatResult::Sat(Model::new(values));
                 }
                 SearchOutcome::Unsat => {
                     self.backtrack_to(0);
@@ -768,7 +828,9 @@ impl Solver {
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], None);
                 } else {
+                    let lbd = self.compute_lbd(&learnt);
                     let cref = self.attach_clause(learnt.clone(), true);
+                    self.headers[cref as usize].lbd = lbd;
                     self.enqueue(learnt[0], Some(cref));
                 }
                 self.var_inc /= 0.95;
