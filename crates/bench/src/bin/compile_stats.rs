@@ -28,6 +28,12 @@ struct Measurement {
     verdict: &'static str,
     encoded_slots: usize,
     scheduled_slots: usize,
+    /// Trail literals processed per second of *query wall time* (the whole
+    /// `check_bound` call — encoding included, exactly like
+    /// `solve_seconds`). Kept in the schema alongside `solver_stats` so
+    /// encoding changes that shift propagation cost show up here too; the
+    /// eager strategy's larger encoding share lowers its figure.
+    propagations_per_second: f64,
 }
 
 fn measure(spec: &ScenarioSpec, k: usize, eager: bool) -> Measurement {
@@ -45,6 +51,7 @@ fn measure(spec: &ScenarioSpec, k: usize, eager: bool) -> Measurement {
     let outcome = session.check_bound(k, &commitment);
     let solve_seconds = start.elapsed().as_secs_f64();
     let encode = session.encode_stats();
+    let solver = session.solver_stats();
     Measurement {
         variables: encode.variables,
         clauses: encode.clauses,
@@ -52,6 +59,7 @@ fn measure(spec: &ScenarioSpec, k: usize, eager: bool) -> Measurement {
         verdict: outcome.verdict_name(),
         encoded_slots: encode.encoded_slots,
         scheduled_slots: encode.scheduled_slots,
+        propagations_per_second: solver.propagations as f64 / solve_seconds.max(1e-9),
     }
 }
 
@@ -64,8 +72,15 @@ fn json_entry(
     let reduction = reduction_percent(eager, compiled);
     let strategy = |m: &Measurement| {
         format!(
-            "{{\"variables\": {}, \"clauses\": {}, \"solve_seconds\": {:.3}, \"verdict\": \"{}\", \"encoded_slots\": {}, \"scheduled_slots\": {}}}",
-            m.variables, m.clauses, m.solve_seconds, m.verdict, m.encoded_slots, m.scheduled_slots
+            "{{\"variables\": {}, \"clauses\": {}, \"solve_seconds\": {:.3}, \"verdict\": \"{}\", \
+             \"encoded_slots\": {}, \"scheduled_slots\": {}, \"propagations_per_second\": {:.0}}}",
+            m.variables,
+            m.clauses,
+            m.solve_seconds,
+            m.verdict,
+            m.encoded_slots,
+            m.scheduled_slots,
+            m.propagations_per_second
         )
     };
     format!(

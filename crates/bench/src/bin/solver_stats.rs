@@ -1,12 +1,21 @@
-//! Measures what the solver-level CNF simplification pipeline buys: CNF
-//! size after simplification and end-to-end solve time of UPEC queries with
-//! the pipeline enabled (failed-literal probing, subsumption/self-subsuming
-//! resolution, bounded variable elimination, LBD-aware clause retention)
-//! versus the PR 3 compiled baseline (`no_simplify`), asserting that
-//! verdicts are unchanged.
+//! Measures what the solver layer buys on top of the compiled encoding:
+//! CNF size and end-to-end solve time of UPEC queries with the adaptive CNF
+//! simplification pipeline enabled (trial-solve gating, failed-literal
+//! probing, subsumption/self-subsuming resolution, bounded variable
+//! elimination, LBD-aware clause retention) versus the `no_simplify`
+//! baseline, asserting that verdicts are unchanged. Both configurations run
+//! on the overhauled propagation core (binary implication graph, indexed
+//! VSIDS heap, clause-arena GC).
 //!
 //! Results are printed as a table and written to `BENCH_solver.json` so the
 //! repository's bench trajectory can track solver performance over time.
+//! Each strategy entry records, besides CNF size and wall time,
+//! `propagations_per_second` — trail literals processed per second of
+//! *query wall time*. The denominator is the whole `check_bound` call
+//! (encoding and any simplification included, exactly like the
+//! `solve_seconds` column), so the figure tracks end-to-end query
+//! throughput; comparisons between the two strategies fold the pipeline's
+//! own cost into the simplified side.
 //!
 //! Usage:
 //!
@@ -15,17 +24,28 @@
 //! cargo run --release -p bench --bin solver_stats -- orc meltdown
 //! cargo run --release -p bench --bin solver_stats -- --k 3 orc
 //! cargo run --release -p bench --bin solver_stats -- --out /tmp/solver.json
+//! cargo run --release -p bench --bin solver_stats -- --smoke     # CI smoke gate
 //! ```
 //!
 //! The default window is the acceptance point k=2 for every scenario
 //! (deliberately *not* clamped into each scenario's scan range: the
 //! comparison needs one common bound, and scenarios whose attacks need
 //! longer windows simply verify "proven = proven" at k=2).
+//!
+//! `--smoke` is the fast CI gate wired into `scripts/verify.sh`: it runs a
+//! three-scenario subset at k=1, asserts that the default and `no_simplify`
+//! paths agree on every verdict (exit code 1 on mismatch), and writes no
+//! JSON — so solver-performance work can never silently flip a verdict.
 
 use std::time::Instant;
 use upec::engine::IncrementalSession;
 use upec::scenarios::{self, ScenarioSpec};
 use upec::UpecOptions;
+
+/// Scenario subset exercised by `--smoke`: a P-alerting miter (the SAT
+/// path, with counterexample extraction) plus two proven ones (the UNSAT
+/// path over different commitments) — all cheap at k=1.
+const SMOKE_IDS: [&str; 3] = ["meltdown", "orc", "secure-arch-only"];
 
 /// One strategy's measurement.
 struct Measurement {
@@ -34,6 +54,7 @@ struct Measurement {
     solve_seconds: f64,
     verdict: &'static str,
     conflicts: u64,
+    propagations_per_second: f64,
     eliminated_vars: u64,
     subsumed_clauses: u64,
     failed_literals: u64,
@@ -59,6 +80,7 @@ fn measure(spec: &ScenarioSpec, k: usize, no_simplify: bool) -> Measurement {
         solve_seconds,
         verdict: outcome.verdict_name(),
         conflicts: solver.conflicts,
+        propagations_per_second: solver.propagations as f64 / solve_seconds.max(1e-9),
         eliminated_vars: simp.eliminated_vars,
         subsumed_clauses: simp.subsumed_clauses,
         failed_literals: simp.failed_literals,
@@ -74,13 +96,14 @@ fn json_entry(
     let strategy = |m: &Measurement| {
         format!(
             "{{\"variables\": {}, \"clauses\": {}, \"solve_seconds\": {:.3}, \"verdict\": \"{}\", \
-             \"conflicts\": {}, \"eliminated_vars\": {}, \"subsumed_clauses\": {}, \
-             \"failed_literals\": {}}}",
+             \"conflicts\": {}, \"propagations_per_second\": {:.0}, \"eliminated_vars\": {}, \
+             \"subsumed_clauses\": {}, \"failed_literals\": {}}}",
             m.variables,
             m.clauses,
             m.solve_seconds,
             m.verdict,
             m.conflicts,
+            m.propagations_per_second,
             m.eliminated_vars,
             m.subsumed_clauses,
             m.failed_literals
@@ -100,6 +123,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut k_override: Option<usize> = None;
     let mut out_path = "BENCH_solver.json".to_string();
+    let mut smoke = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--k" => {
@@ -117,13 +141,17 @@ fn main() {
                 };
                 out_path = path;
             }
+            "--smoke" => smoke = true,
             id => ids.push(id.to_string()),
         }
+    }
+    if smoke && ids.is_empty() {
+        ids = SMOKE_IDS.iter().map(|s| s.to_string()).collect();
     }
     if ids.is_empty() {
         ids = scenarios::all().iter().map(|s| s.id.to_string()).collect();
     }
-    let k = k_override.unwrap_or(2);
+    let k = k_override.unwrap_or(if smoke { 1 } else { 2 });
 
     println!(
         "{:<18} {:>2}  {:>10} {:>10} {:>9}   {:>10} {:>10} {:>9}  {:>6} {:>6}  verdict",
@@ -179,11 +207,21 @@ fn main() {
         "\naggregate solve time: baseline {total_baseline:.2}s, simplified {total_simplified:.2}s \
          ({reduction:.1}% reduction)"
     );
+    if smoke {
+        // The smoke gate is a verdict check, not a measurement: never
+        // overwrite the tracked bench JSON from here.
+        if verdicts_match {
+            println!("smoke: all verdicts agree between default and no_simplify paths");
+        } else {
+            std::process::exit(1);
+        }
+        return;
+    }
     let json = format!(
-        "{{\n  \"bench\": \"solver_stats\",\n  \"unit\": \"CNF variables+clauses, seconds\",\n  \
-         \"aggregate\": {{\"baseline_seconds\": {total_baseline:.3}, \"simplified_seconds\": \
-         {total_simplified:.3}, \"solve_time_reduction_percent\": {reduction:.1}}},\n  \
-         \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"solver_stats\",\n  \"unit\": \"CNF variables+clauses, seconds, \
+         propagations/second\",\n  \"aggregate\": {{\"baseline_seconds\": {total_baseline:.3}, \
+         \"simplified_seconds\": {total_simplified:.3}, \"solve_time_reduction_percent\": \
+         {reduction:.1}}},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Options controlling how a netlist is unrolled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnrollOptions {
     /// When `true`, registers that declare an initial value start there in
     /// frame 0. When `false` every register starts fully *symbolic*, which is
@@ -40,6 +40,27 @@ pub struct UnrollOptions {
     /// hatch for differential testing and the `solver_stats` benchmark; real
     /// proofs keep this `false`.
     pub no_simplify: bool,
+    /// Conflict budget of the *trial solve* that gates the simplification
+    /// pipeline: after a substantial database growth the query is first
+    /// attempted under this cap, and only queries that exhaust it pay for
+    /// simplification (the trial's learned clauses are kept, so its effort
+    /// is never wasted). Queries that finish inside the cap — small added
+    /// frames, bounds the solver cruises through — skip the pipeline
+    /// entirely. Lowering the value makes simplification more eager; `0`
+    /// simplifies before any query that hits a single conflict.
+    pub simplify_trial_conflicts: u64,
+}
+
+impl Default for UnrollOptions {
+    fn default() -> Self {
+        Self {
+            use_initial_values: false,
+            conflict_limit: None,
+            eager_encoding: false,
+            no_simplify: false,
+            simplify_trial_conflicts: 4000,
+        }
+    }
 }
 
 impl UnrollOptions {
@@ -71,6 +92,14 @@ impl UnrollOptions {
     /// Disables the CNF simplification pipeline (baseline solving).
     pub fn no_simplify(mut self) -> Self {
         self.no_simplify = true;
+        self
+    }
+
+    /// Sets the conflict budget of the trial solve that gates the
+    /// simplification pipeline (see
+    /// [`UnrollOptions::simplify_trial_conflicts`]).
+    pub fn with_simplify_trial(mut self, conflicts: u64) -> Self {
+        self.simplify_trial_conflicts = conflicts;
         self
     }
 }
@@ -1056,28 +1085,87 @@ impl<'n> Unrolling<'n> {
     /// Runs the SAT solver under the given assumption literals.
     ///
     /// Unless [`UnrollOptions::no_simplify`] is set, the incremental-safe
-    /// CNF simplification pipeline runs first whenever the clause database
-    /// has grown substantially since the last pass — in practice: once per
-    /// bound extension, after the new frames' clauses have been encoded.
+    /// CNF simplification pipeline is triggered *adaptively*: after a
+    /// substantial database growth (at least 512 new problem clauses and an
+    /// eighth of the database — in practice, a bound extension) the query is
+    /// first attempted under the
+    /// [`UnrollOptions::simplify_trial_conflicts`] conflict cap. Queries
+    /// that finish inside the cap never pay for the pipeline; queries that
+    /// exhaust it are simplified (with the probing budget scaled to the
+    /// growth) and then solved to completion — keeping every clause the
+    /// trial learned.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
-        self.maybe_simplify();
-        self.gates.solver_mut().solve_with_assumptions(assumptions)
+        let user_limit = self.options.conflict_limit;
+        if self.options.no_simplify || !self.simplification_due() {
+            return self.gates.solver_mut().solve_with_assumptions(assumptions);
+        }
+
+        // Trial solve: cheap queries finish here and skip the pipeline.
+        let trial = self.options.simplify_trial_conflicts;
+        let trial_limit = user_limit.map_or(trial, |l| l.min(trial));
+        let solver = self.gates.solver_mut();
+        let conflicts_before = solver.stats().conflicts;
+        solver.set_conflict_limit(Some(trial_limit));
+        let result = solver.solve_with_assumptions(assumptions);
+        solver.set_conflict_limit(user_limit);
+        let spent = solver.stats().conflicts.saturating_sub(conflicts_before);
+        let user_exhausted = user_limit.is_some_and(|l| spent >= l);
+        if !matches!(result, SatResult::Unknown) || user_exhausted || solver.interrupt_raised() {
+            return result;
+        }
+
+        // The query is hard; simplification effort will pay for itself.
+        self.run_simplify();
+        let solver = self.gates.solver_mut();
+        if let Some(limit) = user_limit {
+            solver.set_conflict_limit(Some(limit.saturating_sub(spent).max(1)));
+        }
+        let result = solver.solve_with_assumptions(assumptions);
+        solver.set_conflict_limit(user_limit);
+        result
     }
 
-    /// Runs the simplifier if the problem-clause count has grown enough
-    /// since the last run to make another pass worthwhile (at least 512 new
+    /// Whether the problem-clause count has grown enough since the last
+    /// simplification run to make another pass worthwhile (at least 512 new
     /// clauses and at least an eighth of the database).
-    fn maybe_simplify(&mut self) {
-        if self.options.no_simplify {
-            return;
-        }
+    fn simplification_due(&self) -> bool {
         let clauses = self.gates.solver().num_clauses();
         let grown = clauses.saturating_sub(self.clauses_at_last_simplify);
-        if grown < 512 || grown * 8 < clauses {
-            return;
-        }
-        self.gates.simplify(&sat::SimplifyConfig::default());
+        grown >= 512 && grown * 8 >= clauses
+    }
+
+    /// Runs the simplification pipeline, with the failed-literal probing
+    /// budget capped in proportion to the database growth since the last
+    /// pass (small frame extensions do not deserve a full probing sweep).
+    fn run_simplify(&mut self) {
+        let clauses = self.gates.solver().num_clauses();
+        let grown = clauses.saturating_sub(self.clauses_at_last_simplify) as u64;
+        let config = sat::SimplifyConfig {
+            failed_literal_propagations: (grown * 25).clamp(20_000, 100_000),
+            ..sat::SimplifyConfig::default()
+        };
+        self.gates.simplify(&config);
         self.clauses_at_last_simplify = self.gates.solver().num_clauses();
+    }
+
+    /// Sets the initial learned-clause budget of the underlying solver (see
+    /// [`sat::Solver::set_learnt_budget`]); stress tests use a small budget
+    /// to force frequent database reductions and arena collections.
+    pub fn set_learnt_budget(&mut self, budget: usize) {
+        self.gates.solver_mut().set_learnt_budget(budget);
+    }
+
+    /// Fraction of the solver's clause-literal arena occupied by tombstoned
+    /// holes (see [`sat::Solver::arena_wasted_ratio`]).
+    pub fn arena_wasted_ratio(&self) -> f64 {
+        self.gates.solver().arena_wasted_ratio()
+    }
+
+    /// Exhaustive watch-list/reason invariant check of the underlying solver
+    /// (see [`sat::Solver::debug_validate`]); used by the arena-GC test
+    /// suites.
+    pub fn debug_validate(&self) -> Result<(), String> {
+        self.gates.solver().debug_validate()
     }
 
     /// Conflict statistics of the underlying solver.

@@ -25,6 +25,10 @@ pub struct UpecOptions {
     /// pre-simplifier baseline; used by the `solver_stats` benchmark and
     /// differential tests). Real proofs keep this `false`.
     pub no_simplify: bool,
+    /// Conflict budget of the trial solve that gates CNF simplification:
+    /// only queries that exhaust this cap pay for the pipeline (see
+    /// [`bmc::UnrollOptions::simplify_trial_conflicts`]).
+    pub simplify_trial_conflicts: u64,
 }
 
 impl UpecOptions {
@@ -36,6 +40,7 @@ impl UpecOptions {
             from_reset_state: false,
             eager_encoding: false,
             no_simplify: false,
+            simplify_trial_conflicts: bmc::UnrollOptions::default().simplify_trial_conflicts,
         }
     }
 
@@ -60,6 +65,13 @@ impl UpecOptions {
     /// Disables CNF simplification (the pre-simplifier solving baseline).
     pub fn no_simplify(mut self) -> Self {
         self.no_simplify = true;
+        self
+    }
+
+    /// Sets the conflict budget of the trial solve that gates CNF
+    /// simplification (`0` simplifies before any query hitting a conflict).
+    pub fn with_simplify_trial(mut self, conflicts: u64) -> Self {
+        self.simplify_trial_conflicts = conflicts;
         self
     }
 }

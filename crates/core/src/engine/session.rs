@@ -74,6 +74,7 @@ impl<'m> IncrementalSession<'m> {
             conflict_limit: options.conflict_limit,
             eager_encoding: options.eager_encoding,
             no_simplify: options.no_simplify,
+            simplify_trial_conflicts: options.simplify_trial_conflicts,
         };
         let aliases = frame0_aliases(model, options.from_reset_state);
         let mut unrolling = if options.eager_encoding {
@@ -349,8 +350,11 @@ mod tests {
             .map(|p| p.name.clone())
             .collect();
         // Orc with the architectural obligation is proven at k=1 and
-        // L-alerts at k=2, covering both outcome paths.
-        let mut walked = IncrementalSession::new(&model, None);
+        // L-alerts at k=2, covering both outcome paths. A zero trial budget
+        // makes the adaptive trigger run the pipeline before any query that
+        // hits a conflict, so this test always exercises the simplifier.
+        let mut walked =
+            IncrementalSession::with_options(&model, UpecOptions::window(0).with_simplify_trial(0));
         for k in 1..=2 {
             let walked_outcome = walked.check_bound(k, &commitment);
             let mut fresh =

@@ -52,6 +52,7 @@
 //! assert!(m.lit_is_true(t)); // extension reconstructs eliminated variables
 //! ```
 
+use crate::solver::Reason;
 use crate::{LBool, Lit, Solver, Var};
 
 /// Tuning knobs of the simplification pipeline.
@@ -342,9 +343,11 @@ impl Solver {
                     break;
                 }
                 let probe = Lit::new(var, positive);
-                // A literal with no watchers cannot propagate, let alone
-                // fail.
-                if self.watches[probe.code()].is_empty() {
+                // A literal with no watchers (long or binary) cannot
+                // propagate, let alone fail.
+                if self.watches[probe.code()].is_empty()
+                    && self.bin_watches[probe.code()].is_empty()
+                {
                     continue;
                 }
                 self.push_decision(probe);
@@ -352,7 +355,7 @@ impl Solver {
                 self.backtrack_to(0);
                 if conflict {
                     self.simp_stats.failed_literals += 1;
-                    self.enqueue(!probe, None);
+                    self.enqueue(!probe, Reason::Decision);
                     if self.propagate().is_some() {
                         consistent = false;
                         break 'vars;
@@ -364,12 +367,20 @@ impl Solver {
         consistent
     }
 
-    /// Lifts every live clause out of the arena. The old database stays in
-    /// place (propagation during the pipeline still uses it — every fact it
-    /// derives is implied by the original formula, so this is sound) and is
-    /// discarded wholesale by [`Solver::rebuild`].
+    /// Lifts every live clause out of the arena and the binary implication
+    /// lists. The old database stays in place (propagation during the
+    /// pipeline still uses it — every fact it derives is implied by the
+    /// original formula, so this is sound) and is discarded wholesale by
+    /// [`Solver::rebuild`].
+    ///
+    /// Each binary clause `(a ∨ b)` is stored in two implication lists (one
+    /// per direction) and extracted exactly once, from the direction whose
+    /// first literal has the smaller code. Learned binaries are promoted to
+    /// problem clauses here — they are implied facts, retained permanently,
+    /// and letting them join subsumption/elimination only strengthens both.
     fn extract_clauses(&self) -> Vec<SimpClause> {
-        self.headers
+        let mut clauses: Vec<SimpClause> = self
+            .headers
             .iter()
             .filter(|h| !h.deleted)
             .map(|h| SimpClause {
@@ -379,7 +390,23 @@ impl Solver {
                 lbd: h.lbd,
                 deleted: false,
             })
-            .collect()
+            .collect();
+        for code in 0..self.bin_watches.len() {
+            // The entry `q` at code `p` encodes the clause `(!p ∨ q)`.
+            let a = !Lit::from_code(code);
+            for &b in &self.bin_watches[code] {
+                if a.code() < b.code() {
+                    clauses.push(SimpClause {
+                        lits: vec![a, b],
+                        learnt: false,
+                        activity: 0.0,
+                        lbd: 0,
+                        deleted: false,
+                    });
+                }
+            }
+        }
+        clauses
     }
 
     /// Removes satisfied clauses, strips falsified literals and propagates
@@ -421,7 +448,7 @@ impl Solver {
                         // Learned units are implied facts too, so both kinds
                         // may be promoted to the trail.
                         if self.value_lit(c.lits[0]) == LBool::Undef {
-                            self.enqueue(c.lits[0], None);
+                            self.enqueue(c.lits[0], Reason::Decision);
                         }
                         c.deleted = true;
                     }
@@ -514,7 +541,7 @@ impl Solver {
                                 match self.value_lit(unit) {
                                     LBool::False => return false,
                                     LBool::Undef => {
-                                        self.enqueue(unit, None);
+                                        self.enqueue(unit, Reason::Decision);
                                         if self.propagate().is_some() {
                                             return false;
                                         }
@@ -621,7 +648,7 @@ impl Solver {
                     1 => match self.value_lit(r[0]) {
                         LBool::False => return false,
                         LBool::Undef => {
-                            self.enqueue(r[0], None);
+                            self.enqueue(r[0], Reason::Decision);
                             if self.propagate().is_some() {
                                 return false;
                             }
@@ -649,20 +676,25 @@ impl Solver {
     }
 
     /// Replaces the solver's clause database with the transformed clause
-    /// set, rebuilding every watch list (this also compacts the arena holes
-    /// left by deleted clauses).
+    /// set, rebuilding every watch list and binary implication list (this
+    /// also compacts the arena holes left by deleted clauses).
     fn rebuild(&mut self, clauses: Vec<SimpClause>) {
         self.headers.clear();
         self.clause_lits.clear();
+        self.reset_waste();
         for w in &mut self.watches {
             w.clear();
         }
+        for w in &mut self.bin_watches {
+            w.clear();
+        }
+        self.num_bin_clauses = 0;
         self.num_learnts = 0;
         // All trail entries are top-level facts now; their reasons pointed
         // into the old database.
         for i in 0..self.trail.len() {
             let vi = self.trail[i].var().index();
-            self.var_data[vi].reason = None;
+            self.var_data[vi].reason = Reason::Decision;
         }
         for c in clauses {
             if c.deleted {
@@ -680,6 +712,12 @@ impl Solver {
                 c.learnt || c.lits.iter().all(|l| !self.eliminated[l.var().index()]),
                 "problem clauses never mention eliminated variables"
             );
+            if c.lits.len() == 2 {
+                // Binary clauses (learned ones included) live in the
+                // implication graph from here on.
+                self.attach_binary(c.lits[0], c.lits[1]);
+                continue;
+            }
             let activity = c.activity;
             let lbd = c.lbd;
             let learnt = c.learnt;
@@ -691,6 +729,7 @@ impl Solver {
         // Every remaining clause was cleaned against the final trail, so
         // nothing is pending propagation.
         self.qhead = self.trail.len();
+        self.qhead_bin = self.trail.len();
     }
 
     /// Completes a model over eliminated variables by replaying the
@@ -877,7 +916,7 @@ mod tests {
         }
         s.add_clause([v[0], v[1]]);
         s.add_clause([v[0], v[1], v[2]]); // subsumed
-        s.add_clause([!v[0], v[2]]);
+        s.add_clause([v[1], v[2]]);
         let before = s.num_clauses();
         let config = SimplifyConfig {
             var_elim: false,

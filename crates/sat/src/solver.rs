@@ -1,13 +1,26 @@
 //! Conflict-driven clause-learning (CDCL) SAT solver.
 //!
 //! The solver follows the classic MiniSat architecture: two watched literals
-//! per clause, first-UIP conflict analysis, VSIDS variable activities with a
-//! lazy binary-heap decision order, phase saving, Luby restarts and periodic
-//! deletion of inactive learned clauses.
+//! per clause, first-UIP conflict analysis, VSIDS variable activities with an
+//! index-tracked mutable heap, phase saving, Luby restarts and periodic
+//! deletion of inactive learned clauses. Two storage-level specializations
+//! keep the propagation inner loop off cold memory:
+//!
+//! * **Binary implication graph.** Two-literal clauses — the dominant clause
+//!   length in Tseitin-encoded hardware miters — are not stored in the clause
+//!   arena at all. Each literal carries a flat list of the literals it
+//!   directly implies, so propagating a binary clause reads one inline `Lit`
+//!   and never touches a `ClauseHeader` or the literal arena. Binary
+//!   implications are propagated to fixpoint before any long clause is
+//!   visited.
+//! * **Clause-arena garbage collection.** Database reduction tombstones
+//!   headers and leaves literal holes in the arena; when the wasted-literal
+//!   ratio reaches 25% a compacting collection rebuilds the arena and remaps
+//!   every watcher and reason index, keeping memory (and cache locality)
+//!   bounded across long incremental sessions.
 
 use crate::simplify::{ExtensionEntry, SimplifyStats};
 use crate::{CnfFormula, LBool, Lit, Model, SatResult, Var};
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -22,16 +35,20 @@ use std::sync::Arc;
 pub struct SolverStats {
     /// Number of decisions made.
     pub decisions: u64,
-    /// Number of unit propagations performed.
+    /// Number of unit propagations performed (trail literals processed).
     pub propagations: u64,
     /// Number of conflicts encountered.
     pub conflicts: u64,
     /// Number of restarts performed.
     pub restarts: u64,
-    /// Number of learned clauses currently in the database.
+    /// Number of learned clauses currently in the database (long clauses
+    /// only; learned binary clauses move to the implication graph and are
+    /// retained permanently).
     pub learnt_clauses: u64,
     /// Number of learned clauses deleted by database reduction.
     pub deleted_clauses: u64,
+    /// Number of compacting clause-arena garbage collections performed.
+    pub arena_collections: u64,
 }
 
 impl SolverStats {
@@ -62,15 +79,20 @@ impl SolverStats {
             restarts: self.restarts.saturating_sub(earlier.restarts),
             learnt_clauses: self.learnt_clauses,
             deleted_clauses: self.deleted_clauses.saturating_sub(earlier.deleted_clauses),
+            arena_collections: self
+                .arena_collections
+                .saturating_sub(earlier.arena_collections),
         }
     }
 }
 
-/// Clause metadata. The literals themselves live in one flat arena
-/// (`Solver::clause_lits`) indexed by `start..start + len`: propagation is
-/// memory-latency-bound, and keeping all clause literals contiguous removes
-/// one pointer dereference (and most cache misses) per visited clause
-/// compared to a `Vec<Lit>` per clause.
+/// Clause metadata for clauses of three or more literals. The literals
+/// themselves live in one flat arena (`Solver::clause_lits`) indexed by
+/// `start..start + len`: propagation is memory-latency-bound, and keeping all
+/// clause literals contiguous removes one pointer dereference (and most cache
+/// misses) per visited clause compared to a `Vec<Lit>` per clause. Binary
+/// clauses never reach the arena — they live in the implication lists
+/// (`Solver::bin_watches`).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ClauseHeader {
     pub(crate) start: u32,
@@ -90,34 +112,135 @@ pub(crate) struct Watcher {
     blocker: Lit,
 }
 
+/// Why a literal is on the trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Reason {
+    /// A decision (or assumption, or top-level fact): no antecedent clause.
+    Decision,
+    /// Propagated by the arena clause with this index; the propagated
+    /// literal is the clause's first literal.
+    Long(u32),
+    /// Propagated by a binary clause; the payload is the *other* literal of
+    /// that clause (false at propagation time).
+    Binary(Lit),
+}
+
+/// A falsified clause discovered by propagation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Conflict {
+    /// An arena clause.
+    Long(u32),
+    /// A binary clause, given by its two (falsified) literals.
+    Binary(Lit, Lit),
+}
+
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct VarData {
-    pub(crate) reason: Option<u32>,
+    pub(crate) reason: Reason,
     pub(crate) level: u32,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
-    activity: f64,
-    var: Var,
+/// Index-tracked max-heap over variables ordered by VSIDS activity.
+///
+/// Unlike a lazy `BinaryHeap` of `(activity, var)` snapshots — which
+/// accumulates a stale duplicate on every bump and every backtrack — this
+/// heap stores each variable at most once and tracks its position, so an
+/// activity bump is an in-place `decrease_key`/`increase_key` sift and
+/// `pop` never has to skip stale entries. Ties break on the variable index
+/// (higher first) for a deterministic decision order.
+#[derive(Debug, Clone, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    /// `position + 1` of each variable in `heap`; 0 when absent.
+    index: Vec<u32>,
 }
 
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl VarHeap {
+    /// Registers a new variable (initially absent from the heap).
+    fn add_var(&mut self) {
+        self.index.push(0);
     }
-}
 
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Activities are never NaN; tie-break on the variable index for a
-        // deterministic order.
-        self.activity
-            .partial_cmp(&other.activity)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| self.var.cmp(&other.var))
+    fn contains(&self, v: Var) -> bool {
+        self.index[v.index()] != 0
+    }
+
+    /// Heap order: higher activity first, ties broken towards the higher
+    /// variable index. Activities are never NaN.
+    fn better(activity: &[f64], a: Var, b: Var) -> bool {
+        let (aa, ab) = (activity[a.index()], activity[b.index()]);
+        aa > ab || (aa == ab && a > b)
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.index[self.heap[a].index()] = (a + 1) as u32;
+        self.index[self.heap[b].index()] = (b + 1) as u32;
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if Self::better(activity, self.heap[pos], self.heap[parent]) {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = left + 1;
+            let mut best = pos;
+            if left < self.heap.len() && Self::better(activity, self.heap[left], self.heap[best]) {
+                best = left;
+            }
+            if right < self.heap.len() && Self::better(activity, self.heap[right], self.heap[best])
+            {
+                best = right;
+            }
+            if best == pos {
+                return;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    /// Inserts a variable (no-op if already present).
+    fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.heap.push(v);
+        self.index[v.index()] = self.heap.len() as u32;
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores the heap property after `v`'s activity increased
+    /// (no-op if `v` is not in the heap — it will be re-inserted with its
+    /// bumped activity when it leaves the trail).
+    fn update(&mut self, v: Var, activity: &[f64]) {
+        let idx = self.index[v.index()];
+        if idx != 0 {
+            self.sift_up((idx - 1) as usize, activity);
+        }
+    }
+
+    /// Removes and returns the most active variable.
+    fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        self.index[top.index()] = 0;
+        let last = self.heap.pop().expect("heap is non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.index[last.index()] = 1;
+            self.sift_down(0, activity);
+        }
+        Some(top)
     }
 }
 
@@ -147,17 +270,41 @@ pub struct Solver {
     pub(crate) headers: Vec<ClauseHeader>,
     pub(crate) clause_lits: Vec<Lit>,
     pub(crate) watches: Vec<Vec<Watcher>>,
+    /// Binary implication lists: `bin_watches[p.code()]` holds every literal
+    /// `q` for which a binary clause `(!p ∨ q)` exists — i.e. the literals
+    /// directly implied by `p` becoming true. Each binary clause appears in
+    /// exactly two lists (once per direction).
+    pub(crate) bin_watches: Vec<Vec<Lit>>,
+    /// Number of binary clauses stored in the implication lists.
+    pub(crate) num_bin_clauses: usize,
     pub(crate) assigns: Vec<LBool>,
     pub(crate) var_data: Vec<VarData>,
     pub(crate) trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     pub(crate) qhead: usize,
+    /// Propagation head of the binary implication queue. Runs ahead of
+    /// `qhead`: every trail literal has its binary implications exhausted
+    /// before any long clause is visited.
+    pub(crate) qhead_bin: usize,
     activity: Vec<f64>,
     var_inc: f64,
     clause_inc: f64,
-    order: BinaryHeap<HeapEntry>,
+    order: VarHeap,
     pub(crate) phase: Vec<bool>,
     seen: Vec<bool>,
+    /// Scratch buffer for conflict analysis (avoids a per-resolution
+    /// allocation when copying antecedent literals out of the arena).
+    analyze_scratch: Vec<Lit>,
+    /// Reusable mark vector of clauses currently locked as a propagation
+    /// reason (indexed by clause); re-zeroed at the start of every database
+    /// reduction.
+    locked_marks: Vec<bool>,
+    /// Reusable candidate-ranking buffer for database reduction.
+    reduce_scratch: Vec<u32>,
+    /// Literals sitting in arena holes left by tombstoned clauses; when the
+    /// wasted ratio reaches [`Solver::GC_WASTE_DENOMINATOR`] a compacting
+    /// collection runs.
+    wasted_lits: usize,
     pub(crate) ok: bool,
     pub(crate) stats: SolverStats,
     conflict_limit: Option<u64>,
@@ -182,23 +329,36 @@ impl Default for Solver {
 }
 
 impl Solver {
+    /// A compacting arena collection runs when at least `1/GC_WASTE_DENOMINATOR`
+    /// of the literal arena sits in tombstoned holes. Since holes are only
+    /// created by database reduction (which checks this bound immediately),
+    /// the wasted-hole ratio never exceeds 25% outside of `reduce_db` itself.
+    const GC_WASTE_DENOMINATOR: usize = 4;
+
     /// Creates an empty solver.
     pub fn new() -> Self {
         Self {
             headers: Vec::new(),
             clause_lits: Vec::new(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
+            num_bin_clauses: 0,
             assigns: Vec::new(),
             var_data: Vec::new(),
             trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
+            qhead_bin: 0,
             activity: Vec::new(),
             var_inc: 1.0,
             clause_inc: 1.0,
-            order: BinaryHeap::new(),
+            order: VarHeap::default(),
             phase: Vec::new(),
             seen: Vec::new(),
+            analyze_scratch: Vec::new(),
+            locked_marks: Vec::new(),
+            reduce_scratch: Vec::new(),
+            wasted_lits: 0,
             ok: true,
             stats: SolverStats::default(),
             conflict_limit: None,
@@ -236,10 +396,36 @@ impl Solver {
     }
 
     /// Whether an installed interrupt flag is currently raised.
-    fn interrupted(&self) -> bool {
+    ///
+    /// Callers that wrap `solve` in their own retry policies (e.g. the
+    /// adaptive simplification trigger in the `bmc` unroller) use this to
+    /// tell a cancellation apart from an exhausted conflict budget.
+    pub fn interrupt_raised(&self) -> bool {
         self.interrupt
             .as_ref()
             .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Sets the initial learned-clause budget that triggers database
+    /// reduction (default 8192). The budget still grows by 50% after every
+    /// reduction. Exposed so stress tests can force frequent reductions (and
+    /// thus arena collections) on small instances.
+    pub fn set_learnt_budget(&mut self, budget: usize) {
+        self.max_learnts = budget.max(8);
+    }
+
+    /// Fraction of the clause-literal arena occupied by tombstoned holes
+    /// (0.0 right after a compaction or simplifier rebuild).
+    ///
+    /// The garbage collector bounds this below 0.25 at every point where the
+    /// solver is quiescent (i.e. outside `reduce_db` itself); the bound is
+    /// asserted by the arena-GC test suites in `sat` and `bmc`.
+    pub fn arena_wasted_ratio(&self) -> f64 {
+        if self.clause_lits.is_empty() {
+            0.0
+        } else {
+            self.wasted_lits as f64 / self.clause_lits.len() as f64
+        }
     }
 
     /// Number of allocated variables.
@@ -247,12 +433,15 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// Number of problem clauses (excluding learned clauses).
+    /// Number of problem clauses (excluding long learned clauses; binary
+    /// clauses — including learned binaries, which are retained permanently —
+    /// are counted).
     pub fn num_clauses(&self) -> usize {
         self.headers
             .iter()
             .filter(|c| !c.learnt && !c.deleted)
             .count()
+            + self.num_bin_clauses
     }
 
     /// The literals of a clause.
@@ -271,7 +460,7 @@ impl Solver {
         let v = Var::from_index(self.assigns.len());
         self.assigns.push(LBool::Undef);
         self.var_data.push(VarData {
-            reason: None,
+            reason: Reason::Decision,
             level: 0,
         });
         self.activity.push(0.0);
@@ -281,10 +470,10 @@ impl Solver {
         self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
-        self.order.push(HeapEntry {
-            activity: 0.0,
-            var: v,
-        });
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.order.add_var();
+        self.order.insert(v, &self.activity);
         v
     }
 
@@ -316,7 +505,7 @@ impl Solver {
     /// probes; the search loop inlines the same two steps).
     pub(crate) fn push_decision(&mut self, lit: Lit) {
         self.trail_lim.push(self.trail.len());
-        self.enqueue(lit, None);
+        self.enqueue(lit, Reason::Decision);
     }
 
     /// Adds a clause to the solver.
@@ -380,10 +569,13 @@ impl Solver {
                 self.ok = false;
             }
             1 => {
-                self.enqueue(simplified[0], None);
+                self.enqueue(simplified[0], Reason::Decision);
                 if self.propagate().is_some() {
                     self.ok = false;
                 }
+            }
+            2 => {
+                self.attach_binary(simplified[0], simplified[1]);
             }
             _ => {
                 self.attach_clause(simplified, false);
@@ -399,8 +591,17 @@ impl Solver {
         }
     }
 
+    /// Records a binary clause `(a ∨ b)` in the implication lists. Binary
+    /// clauses never enter the arena and are never deleted.
+    pub(crate) fn attach_binary(&mut self, a: Lit, b: Lit) {
+        debug_assert_ne!(a.var(), b.var());
+        self.bin_watches[(!a).code()].push(b);
+        self.bin_watches[(!b).code()].push(a);
+        self.num_bin_clauses += 1;
+    }
+
     pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
-        debug_assert!(lits.len() >= 2);
+        debug_assert!(lits.len() >= 3, "binary clauses use the implication lists");
         let idx = self.headers.len() as u32;
         let w0 = Watcher {
             clause: idx,
@@ -430,7 +631,7 @@ impl Solver {
         idx
     }
 
-    pub(crate) fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+    pub(crate) fn enqueue(&mut self, lit: Lit, reason: Reason) {
         debug_assert_eq!(self.value_lit(lit), LBool::Undef);
         self.assigns[lit.var().index()] = LBool::from_bool(lit.is_positive());
         self.var_data[lit.var().index()] = VarData {
@@ -440,17 +641,50 @@ impl Solver {
         self.trail.push(lit);
     }
 
-    pub(crate) fn propagate(&mut self) -> Option<u32> {
-        let mut conflict = None;
-        while self.qhead < self.trail.len() {
+    pub(crate) fn propagate(&mut self) -> Option<Conflict> {
+        loop {
+            // Phase 1: exhaust the binary implication graph. Binary clauses
+            // are the bulk of a Tseitin encoding and each one costs a single
+            // inline `Lit` read here — no header, no arena, no watcher moves.
+            while self.qhead_bin < self.trail.len() {
+                let p = self.trail[self.qhead_bin];
+                self.qhead_bin += 1;
+                self.stats.propagations += 1;
+                // Move the list out for the scan; `enqueue` never touches
+                // the implication lists, so this is safe and avoids
+                // re-borrowing per entry.
+                let implications = std::mem::take(&mut self.bin_watches[p.code()]);
+                let mut conflict = None;
+                for &q in &implications {
+                    match self.value_lit(q) {
+                        LBool::True => {}
+                        LBool::Undef => self.enqueue(q, Reason::Binary(!p)),
+                        LBool::False => {
+                            conflict = Some(Conflict::Binary(q, !p));
+                            break;
+                        }
+                    }
+                }
+                self.bin_watches[p.code()] = implications;
+                if let Some(conflict) = conflict {
+                    self.qhead = self.trail.len();
+                    self.qhead_bin = self.trail.len();
+                    return Some(conflict);
+                }
+            }
+
+            // Phase 2: one long-clause step, then back to the binaries.
+            if self.qhead >= self.trail.len() {
+                return None;
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
-            self.stats.propagations += 1;
 
             // Move the list out for the scan; during the scan no watcher can
             // be pushed onto `p`'s own list (a new watch `!lk` equals `p`
             // only if `lk == !p`, and `!p` is false here, never a valid new
             // watch), so the compacted list is moved back in O(1) below.
+            let mut conflict = None;
             let mut watchers = std::mem::take(&mut self.watches[p.code()]);
             let mut i = 0;
             'watchers: while i < watchers.len() {
@@ -495,36 +729,35 @@ impl Solver {
                 // No new watch found: the clause is unit or conflicting.
                 watchers[i].blocker = first;
                 if self.value_lit(first) == LBool::False {
-                    conflict = Some(w.clause);
+                    conflict = Some(Conflict::Long(w.clause));
                     self.qhead = self.trail.len();
+                    self.qhead_bin = self.trail.len();
                     // Copy back the remaining watchers untouched.
                     break;
                 } else {
-                    self.enqueue(first, Some(w.clause));
+                    self.enqueue(first, Reason::Long(w.clause));
                     i += 1;
                 }
             }
             debug_assert!(self.watches[p.code()].is_empty());
             self.watches[p.code()] = watchers;
             if conflict.is_some() {
-                break;
+                return conflict;
             }
         }
-        conflict
     }
 
     fn bump_var(&mut self, var: Var) {
         self.activity[var.index()] += self.var_inc;
         if self.activity[var.index()] > 1e100 {
+            // Rescaling divides every activity by the same factor, so the
+            // heap order is unchanged.
             for a in &mut self.activity {
                 *a *= 1e-100;
             }
             self.var_inc *= 1e-100;
         }
-        self.order.push(HeapEntry {
-            activity: self.activity[var.index()],
-            var,
-        });
+        self.order.update(var, &self.activity);
     }
 
     fn bump_clause(&mut self, clause: u32) {
@@ -538,19 +771,29 @@ impl Solver {
         }
     }
 
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+    fn analyze(&mut self, confl: Conflict) -> (Vec<Lit>, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for the asserting literal
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut confl = confl;
         let mut index = self.trail.len();
         let current_level = self.decision_level();
+        let mut lits = std::mem::take(&mut self.analyze_scratch);
 
         loop {
-            if self.headers[confl as usize].learnt {
-                self.bump_clause(confl);
+            lits.clear();
+            match confl {
+                Conflict::Long(ci) => {
+                    if self.headers[ci as usize].learnt {
+                        self.bump_clause(ci);
+                    }
+                    lits.extend_from_slice(self.lits_of(ci));
+                }
+                Conflict::Binary(a, b) => {
+                    lits.push(a);
+                    lits.push(b);
+                }
             }
-            let lits = self.lits_of(confl).to_vec();
             let start = usize::from(p.is_some());
             for &q in &lits[start..] {
                 let v = q.var();
@@ -578,10 +821,16 @@ impl Solver {
             if counter == 0 {
                 break;
             }
-            confl = self.var_data[lit.var().index()]
-                .reason
-                .expect("non-decision literal must have a reason");
+            confl = match self.var_data[lit.var().index()].reason {
+                Reason::Long(ci) => Conflict::Long(ci),
+                // The antecedent is the binary clause (lit ∨ other); putting
+                // the resolved literal first lets the `start` skip above
+                // treat it exactly like a long reason clause.
+                Reason::Binary(other) => Conflict::Binary(lit, other),
+                Reason::Decision => unreachable!("non-decision literal must have a reason"),
+            };
         }
+        self.analyze_scratch = lits;
         learnt[0] = !p.expect("conflict analysis visits at least one literal");
 
         // Clear the `seen` markers of the literals kept in the learnt clause.
@@ -617,20 +866,18 @@ impl Solver {
             let v = lit.var();
             self.assigns[v.index()] = LBool::Undef;
             self.phase[v.index()] = lit.is_positive();
-            self.order.push(HeapEntry {
-                activity: self.activity[v.index()],
-                var: v,
-            });
+            self.order.insert(v, &self.activity);
         }
         self.trail.truncate(target);
         self.trail_lim.truncate(level as usize);
         self.qhead = self.trail.len();
+        self.qhead_bin = self.trail.len();
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
-        while let Some(entry) = self.order.pop() {
-            if self.value_var(entry.var) == LBool::Undef && !self.eliminated[entry.var.index()] {
-                return Some(entry.var);
+        while let Some(var) = self.order.pop(&self.activity) {
+            if self.value_var(var) == LBool::Undef && !self.eliminated[var.index()] {
+                return Some(var);
             }
         }
         None
@@ -651,45 +898,188 @@ impl Solver {
     }
 
     fn reduce_db(&mut self) {
+        // Mark the clauses currently locked as a propagation reason. Only
+        // trail (i.e. assigned) variables are consulted: unassigned
+        // variables can carry stale reasons from before a simplifier
+        // rebuild, which are never read by search and may index clauses
+        // that no longer exist. The marks live in a reusable vector
+        // (re-zeroed by the clear + resize here), so the whole reduction
+        // allocates nothing once the buffers are warm.
+        self.locked_marks.clear();
+        self.locked_marks.resize(self.headers.len(), false);
+        for i in 0..self.trail.len() {
+            if let Reason::Long(c) = self.var_data[self.trail[i].var().index()].reason {
+                self.locked_marks[c as usize] = true;
+            }
+        }
         // Retention policy: glue clauses (LBD <= 2) are kept unconditionally;
         // the rest are ranked worst-first by (high LBD, low activity) and the
         // worst half deleted.
-        let mut learnt_indices: Vec<usize> = self
-            .headers
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.learnt && !c.deleted && c.len > 2 && c.lbd > 2)
-            .map(|(i, _)| i)
-            .collect();
-        learnt_indices.sort_by(|&a, &b| {
-            let (ca, cb) = (&self.headers[a], &self.headers[b]);
-            cb.lbd.cmp(&ca.lbd).then_with(|| {
-                ca.activity
-                    .partial_cmp(&cb.activity)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        let mut order = std::mem::take(&mut self.reduce_scratch);
+        order.clear();
+        order.extend(
+            self.headers
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.learnt && !c.deleted && c.lbd > 2)
+                .map(|(i, _)| i as u32),
+        );
+        order.sort_unstable_by(|&a, &b| {
+            let (ca, cb) = (&self.headers[a as usize], &self.headers[b as usize]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then_with(|| {
+                    ca.activity
+                        .partial_cmp(&cb.activity)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| a.cmp(&b))
         });
-        let locked: std::collections::HashSet<u32> =
-            self.var_data.iter().filter_map(|d| d.reason).collect();
-        let is_locked = |idx: usize| -> bool { locked.contains(&(idx as u32)) };
-        let to_remove = learnt_indices.len() / 2;
+        let to_remove = order.len() / 2;
         let mut removed = 0;
-        for &idx in &learnt_indices {
+        for &idx in order.iter() {
             if removed >= to_remove {
                 break;
             }
-            if is_locked(idx) {
+            let idx = idx as usize;
+            if self.locked_marks[idx] {
                 continue;
             }
             // The header is tombstoned; its literals stay in the arena as a
             // hole (propagation never visits them again because the watcher
-            // entries are dropped lazily).
+            // entries are dropped lazily) until the compacting collection
+            // below reclaims them.
             self.headers[idx].deleted = true;
+            self.wasted_lits += self.headers[idx].len as usize;
             removed += 1;
             self.num_learnts -= 1;
             self.stats.deleted_clauses += 1;
         }
+        self.reduce_scratch = order;
         self.stats.learnt_clauses = self.num_learnts as u64;
+        if self.wasted_lits * Self::GC_WASTE_DENOMINATOR >= self.clause_lits.len()
+            && self.wasted_lits > 0
+        {
+            self.collect_arena();
+        }
+    }
+
+    /// Compacting garbage collection of the clause arena: rebuilds
+    /// `clause_lits`/`headers` without the tombstoned holes and remaps every
+    /// watcher and reason index to the surviving clauses. Dead watchers
+    /// (lazily-deleted clauses) are dropped in the same sweep.
+    fn collect_arena(&mut self) {
+        let mut remap: Vec<u32> = vec![u32::MAX; self.headers.len()];
+        let live = self.headers.iter().filter(|h| !h.deleted).count();
+        let mut new_headers: Vec<ClauseHeader> = Vec::with_capacity(live);
+        let mut new_lits: Vec<Lit> =
+            Vec::with_capacity(self.clause_lits.len().saturating_sub(self.wasted_lits));
+        for (i, h) in self.headers.iter().enumerate() {
+            if h.deleted {
+                continue;
+            }
+            remap[i] = new_headers.len() as u32;
+            let start = new_lits.len() as u32;
+            new_lits
+                .extend_from_slice(&self.clause_lits[h.start as usize..(h.start + h.len) as usize]);
+            new_headers.push(ClauseHeader { start, ..*h });
+        }
+        for list in &mut self.watches {
+            list.retain_mut(|w| {
+                let mapped = remap[w.clause as usize];
+                if mapped == u32::MAX {
+                    false
+                } else {
+                    w.clause = mapped;
+                    true
+                }
+            });
+        }
+        // Remap the reasons of assigned (trail) variables only; unassigned
+        // variables can carry stale reasons from before a simplifier
+        // rebuild, which are never read and must not be dereferenced here.
+        for i in 0..self.trail.len() {
+            let vi = self.trail[i].var().index();
+            if let Reason::Long(c) = self.var_data[vi].reason {
+                debug_assert_ne!(remap[c as usize], u32::MAX, "reason clause must survive GC");
+                self.var_data[vi].reason = Reason::Long(remap[c as usize]);
+            }
+        }
+        self.headers = new_headers;
+        self.clause_lits = new_lits;
+        self.wasted_lits = 0;
+        self.stats.arena_collections += 1;
+    }
+
+    /// Resets the arena-hole accounting (the simplifier's rebuild starts
+    /// from an empty, hole-free arena).
+    pub(crate) fn reset_waste(&mut self) {
+        self.wasted_lits = 0;
+    }
+
+    /// Exhaustive internal-invariant check used by the test suites: every
+    /// live arena clause is at least ternary and watched on exactly its
+    /// first two literals, every watcher points at a live clause through the
+    /// correct literal, and every propagation reason refers to a live clause
+    /// whose first literal is the propagated one. Dead watchers are only
+    /// tolerated for tombstoned (not yet collected) clauses.
+    ///
+    /// Returns a description of the first violation found.
+    pub fn debug_validate(&self) -> Result<(), String> {
+        let mut watch_count = vec![0usize; self.headers.len()];
+        for (code, list) in self.watches.iter().enumerate() {
+            let watched = !Lit::from_code(code);
+            for w in list {
+                let Some(h) = self.headers.get(w.clause as usize) else {
+                    return Err(format!("watcher points at missing clause {}", w.clause));
+                };
+                if h.deleted {
+                    continue; // lazily-deleted watcher, dropped on next visit or GC
+                }
+                let lits = self.lits_of(w.clause);
+                if lits[0] != watched && lits[1] != watched {
+                    return Err(format!(
+                        "clause {} watched through {watched} which is not in its first two \
+                         literals {lits:?}",
+                        w.clause
+                    ));
+                }
+                watch_count[w.clause as usize] += 1;
+            }
+        }
+        for (i, h) in self.headers.iter().enumerate() {
+            if h.deleted {
+                continue;
+            }
+            if h.len < 3 {
+                return Err(format!("arena clause {i} has {} literals", h.len));
+            }
+            if watch_count[i] != 2 {
+                return Err(format!(
+                    "clause {i} has {} watchers, expected 2",
+                    watch_count[i]
+                ));
+            }
+        }
+        for (vi, d) in self.var_data.iter().enumerate() {
+            if self.assigns[vi] == LBool::Undef {
+                continue;
+            }
+            if let Reason::Long(c) = d.reason {
+                let Some(h) = self.headers.get(c as usize) else {
+                    return Err(format!("reason of v{vi} points at missing clause {c}"));
+                };
+                if h.deleted {
+                    return Err(format!("reason of v{vi} points at deleted clause {c}"));
+                }
+                if self.lits_of(c)[0].var().index() != vi {
+                    return Err(format!(
+                        "reason clause {c} of v{vi} does not start with its literal"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).
@@ -758,7 +1148,7 @@ impl Solver {
         if !self.ok {
             return SatResult::Unsat;
         }
-        if self.interrupted() {
+        if self.interrupt_raised() {
             return SatResult::Unknown;
         }
         self.backtrack_to(0);
@@ -825,13 +1215,19 @@ impl Solver {
                 // themselves are contradictory with the formula.
                 let (learnt, backtrack_level) = self.analyze(confl);
                 self.backtrack_to(backtrack_level);
-                if learnt.len() == 1 {
-                    self.enqueue(learnt[0], None);
-                } else {
-                    let lbd = self.compute_lbd(&learnt);
-                    let cref = self.attach_clause(learnt.clone(), true);
-                    self.headers[cref as usize].lbd = lbd;
-                    self.enqueue(learnt[0], Some(cref));
+                match learnt.len() {
+                    1 => self.enqueue(learnt[0], Reason::Decision),
+                    2 => {
+                        self.attach_binary(learnt[0], learnt[1]);
+                        self.enqueue(learnt[0], Reason::Binary(learnt[1]));
+                    }
+                    _ => {
+                        let lbd = self.compute_lbd(&learnt);
+                        let first = learnt[0];
+                        let cref = self.attach_clause(learnt, true);
+                        self.headers[cref as usize].lbd = lbd;
+                        self.enqueue(first, Reason::Long(cref));
+                    }
                 }
                 self.var_inc /= 0.95;
                 self.clause_inc /= 0.999;
@@ -840,7 +1236,7 @@ impl Solver {
                         return SearchOutcome::LimitReached;
                     }
                 }
-                if self.interrupted() {
+                if self.interrupt_raised() {
                     return SearchOutcome::LimitReached;
                 }
                 if self.num_learnts > self.max_learnts {
@@ -875,7 +1271,7 @@ impl Solver {
                     Some(lit) => {
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
-                        self.enqueue(lit, None);
+                        self.enqueue(lit, Reason::Decision);
                     }
                 }
             }
@@ -952,6 +1348,39 @@ mod tests {
                 "clause {c:?} unsatisfied"
             );
         }
+    }
+
+    #[test]
+    fn binary_chain_propagates_to_fixpoint() {
+        // A pure implication chain: v0 -> v1 -> ... -> v9. Asserting v0
+        // must propagate the whole chain without a single decision.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 10);
+        for i in 0..9 {
+            s.add_clause([!v[i], v[i + 1]]);
+        }
+        s.add_clause([v[0]]);
+        let before = s.stats();
+        let result = s.solve();
+        let model = result.model().expect("sat");
+        for &l in &v {
+            assert!(model.lit_is_true(l));
+        }
+        assert_eq!(s.stats().delta_since(&before).decisions, 0);
+    }
+
+    #[test]
+    fn binary_conflict_is_analyzed_correctly() {
+        // v0 -> v1 and v0 -> !v1 force !v0 through a binary-clause conflict.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[0], !v[1]]);
+        s.add_clause([v[0], v[2]]);
+        let result = s.solve();
+        let model = result.model().expect("sat");
+        assert!(!model.lit_is_true(v[0]));
+        assert!(model.lit_is_true(v[2]));
     }
 
     #[test]
@@ -1151,9 +1580,11 @@ mod tests {
         let mut s = pigeonhole(7, 6);
         let flag = Arc::new(AtomicBool::new(true));
         s.set_interrupt(Some(flag.clone()));
+        assert!(s.interrupt_raised());
         assert_eq!(s.solve(), SatResult::Unknown);
         // Clearing the flag makes the same solver usable again.
         flag.store(false, Ordering::Relaxed);
+        assert!(!s.interrupt_raised());
         assert!(s.solve().is_unsat());
     }
 
@@ -1204,5 +1635,36 @@ mod tests {
         assert!(s.solve().is_unsat());
         // Once unsat, always unsat.
         assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn reduction_compacts_the_arena() {
+        // A small learnt budget forces many database reductions on a hard
+        // instance; the compacting collector must keep the wasted-hole ratio
+        // below the documented bound and the watch/reason structures intact.
+        let mut s = pigeonhole(7, 6);
+        s.set_learnt_budget(32);
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().deleted_clauses > 0, "reductions must have run");
+        assert!(s.stats().arena_collections > 0, "collections must have run");
+        assert!(
+            s.arena_wasted_ratio() < 0.25,
+            "wasted ratio {} out of bounds",
+            s.arena_wasted_ratio()
+        );
+        s.debug_validate().expect("invariants hold after GC");
+    }
+
+    #[test]
+    fn binary_clauses_bypass_the_arena() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        assert_eq!(s.num_clauses(), 2);
+        // Nothing reached the arena: both clauses are pure implications.
+        assert!(s.headers.is_empty());
+        assert!(s.clause_lits.is_empty());
+        assert!(s.solve().is_sat());
     }
 }

@@ -22,4 +22,11 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> bench smoke: solver_stats --smoke (verdict agreement, k=1 subset)"
+# Fast gate: the default (adaptive simplification) and no_simplify solve
+# paths must agree on every verdict of the smoke subset, so solver
+# performance work can never silently flip a verdict. Exits non-zero on any
+# mismatch; writes no JSON.
+cargo run --release -q -p bench --bin solver_stats -- --smoke
+
 echo "verify.sh: all checks passed"
