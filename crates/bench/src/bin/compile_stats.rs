@@ -15,6 +15,7 @@
 //! cargo run --release -p bench --bin compile_stats -- --out /tmp/unroll.json orc
 //! ```
 
+use bench::json::JsonObject;
 use std::time::Instant;
 use upec::engine::IncrementalSession;
 use upec::scenarios::{self, ScenarioSpec};
@@ -71,24 +72,24 @@ fn json_entry(
 ) -> String {
     let reduction = reduction_percent(eager, compiled);
     let strategy = |m: &Measurement| {
-        format!(
-            "{{\"variables\": {}, \"clauses\": {}, \"solve_seconds\": {:.3}, \"verdict\": \"{}\", \
-             \"encoded_slots\": {}, \"scheduled_slots\": {}, \"propagations_per_second\": {:.0}}}",
-            m.variables,
-            m.clauses,
-            m.solve_seconds,
-            m.verdict,
-            m.encoded_slots,
-            m.scheduled_slots,
-            m.propagations_per_second
-        )
+        JsonObject::new()
+            .field_usize("variables", m.variables)
+            .field_usize("clauses", m.clauses)
+            .field_f64("solve_seconds", m.solve_seconds, 3)
+            .field_str("verdict", m.verdict)
+            .field_usize("encoded_slots", m.encoded_slots)
+            .field_usize("scheduled_slots", m.scheduled_slots)
+            .field_f64("propagations_per_second", m.propagations_per_second, 0)
+            .finish()
     };
-    format!(
-        "    {{\"id\": \"{}\", \"k\": {k}, \"eager\": {}, \"compiled\": {}, \"reduction_percent\": {reduction:.1}}}",
-        spec.id,
-        strategy(eager),
-        strategy(compiled)
-    )
+    let entry = JsonObject::new()
+        .field_str("id", spec.id)
+        .field_usize("k", k)
+        .field_raw("eager", &strategy(eager))
+        .field_raw("compiled", &strategy(compiled))
+        .field_f64("reduction_percent", reduction, 1)
+        .finish();
+    format!("    {entry}")
 }
 
 /// Reduction of CNF variables+clauses, in percent of the eager baseline.

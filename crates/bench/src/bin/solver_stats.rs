@@ -37,6 +37,7 @@
 //! paths agree on every verdict (exit code 1 on mismatch), and writes no
 //! JSON — so solver-performance work can never silently flip a verdict.
 
+use bench::json::JsonObject;
 use std::time::Instant;
 use upec::engine::IncrementalSession;
 use upec::scenarios::{self, ScenarioSpec};
@@ -94,28 +95,30 @@ fn json_entry(
     simplified: &Measurement,
 ) -> String {
     let strategy = |m: &Measurement| {
-        format!(
-            "{{\"variables\": {}, \"clauses\": {}, \"solve_seconds\": {:.3}, \"verdict\": \"{}\", \
-             \"conflicts\": {}, \"propagations_per_second\": {:.0}, \"eliminated_vars\": {}, \
-             \"subsumed_clauses\": {}, \"failed_literals\": {}}}",
-            m.variables,
-            m.clauses,
-            m.solve_seconds,
-            m.verdict,
-            m.conflicts,
-            m.propagations_per_second,
-            m.eliminated_vars,
-            m.subsumed_clauses,
-            m.failed_literals
-        )
+        JsonObject::new()
+            .field_usize("variables", m.variables)
+            .field_usize("clauses", m.clauses)
+            .field_f64("solve_seconds", m.solve_seconds, 3)
+            .field_str("verdict", m.verdict)
+            .field_u64("conflicts", m.conflicts)
+            .field_f64("propagations_per_second", m.propagations_per_second, 0)
+            .field_u64("eliminated_vars", m.eliminated_vars)
+            .field_u64("subsumed_clauses", m.subsumed_clauses)
+            .field_u64("failed_literals", m.failed_literals)
+            .finish()
     };
-    format!(
-        "    {{\"id\": \"{}\", \"k\": {k}, \"baseline\": {}, \"simplified\": {}, \"speedup\": {:.2}}}",
-        spec.id,
-        strategy(baseline),
-        strategy(simplified),
-        baseline.solve_seconds / simplified.solve_seconds.max(1e-9),
-    )
+    let entry = JsonObject::new()
+        .field_str("id", spec.id)
+        .field_usize("k", k)
+        .field_raw("baseline", &strategy(baseline))
+        .field_raw("simplified", &strategy(simplified))
+        .field_f64(
+            "speedup",
+            baseline.solve_seconds / simplified.solve_seconds.max(1e-9),
+            2,
+        )
+        .finish();
+    format!("    {entry}")
 }
 
 fn main() {

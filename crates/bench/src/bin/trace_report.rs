@@ -1,0 +1,410 @@
+//! Phase-attributed runtime report over the scenario registry, driven by
+//! the `obs` telemetry layer.
+//!
+//! For every scenario the UPEC query is run twice: once *untraced* (no sink
+//! installed — the production configuration) and once *traced* into an
+//! in-memory sink. The traced run's span tree is folded into the four
+//! phases that matter for solver work — Tseitin **encode**, CNF
+//! **simplify**, CDCL **search**, and the residual **other** (alert
+//! extraction, bookkeeping) — and the report asserts that
+//!
+//! * the traced verdict equals the untraced verdict (tracing is inert),
+//! * the phase sum (= the `upec.check_bound` root span) lands within 10%
+//!   of the independently measured `UpecStats.runtime` of the same run.
+//!
+//! Results are printed as a table and written to `BENCH_trace.json` so the
+//! bench trajectory can track *where* solver time goes, not just how much
+//! of it there is. See `docs/observability.md` for the span taxonomy and
+//! how to read the output.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin trace_report              # registry at k=2
+//! cargo run --release -p bench --bin trace_report -- orc meltdown
+//! cargo run --release -p bench --bin trace_report -- --k 3 orc
+//! cargo run --release -p bench --bin trace_report -- --jsonl /tmp/trace.jsonl orc
+//! cargo run --release -p bench --bin trace_report -- --smoke  # CI smoke gate
+//! ```
+//!
+//! `--smoke` is the fast CI gate wired into `scripts/verify.sh`: one cheap
+//! scenario at k=1, traced through the real JSONL file sink; every emitted
+//! line must parse as JSON, the root span must carry the engine's verdict,
+//! and the phase sum must be sane. Exit code 1 on any failure, and no
+//! tracked JSON is written.
+
+use bench::json::{validate, JsonObject};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use upec::engine::IncrementalSession;
+use upec::scenarios::{self, ScenarioSpec};
+use upec::{UpecOptions, UpecOutcome, UpecStats};
+
+/// The scenario `--smoke` runs: cheap at k=1 and alerting (so the verdict
+/// attribute is exercised on the SAT path too).
+const SMOKE_ID: &str = "meltdown";
+
+/// Phase attribution of one traced query, in seconds.
+struct Phases {
+    total: f64,
+    encode: f64,
+    simplify: f64,
+    search: f64,
+    other: f64,
+    /// Setup cost outside the query: transition compilation (incl. COI).
+    compile: f64,
+}
+
+/// One scenario's full measurement.
+struct Row {
+    verdict: &'static str,
+    stats: UpecStats,
+    phases: Phases,
+    untraced_seconds: f64,
+}
+
+fn run_query(spec: &ScenarioSpec, k: usize) -> (UpecOutcome, f64) {
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+    let mut session = IncrementalSession::with_options(&model, UpecOptions::window(k));
+    let start = Instant::now();
+    let outcome = session.check_bound(k, &commitment);
+    (outcome, start.elapsed().as_secs_f64())
+}
+
+/// Folds a trace into per-phase seconds. Span names sum independently —
+/// `sat.search` spans never nest in each other (the trial solve's search
+/// and the final search are siblings), and `sat.simplify` runs between
+/// them, so the three named sums are disjoint slices of the root span.
+fn attribute_phases(spans: &[obs::SpanRecord]) -> Phases {
+    // Sum in integer nanoseconds: an empty f64 sum is -0.0 (Rust folds from
+    // -0.0), which would leak a `-0.000` into the report for skipped phases.
+    let sum = |name: &str| -> f64 {
+        spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration_ns)
+            .sum::<u64>() as f64
+            / 1e9
+    };
+    let total = sum("upec.check_bound");
+    let encode = sum("bmc.encode");
+    let simplify = sum("sat.simplify");
+    let search = sum("sat.search");
+    Phases {
+        total,
+        encode,
+        simplify,
+        search,
+        other: (total - encode - simplify - search).max(0.0),
+        compile: sum("bmc.compile"),
+    }
+}
+
+fn root_span(spans: &[obs::SpanRecord]) -> &obs::SpanRecord {
+    spans
+        .iter()
+        .find(|s| s.name == "upec.check_bound" && s.parent.is_none())
+        .expect("trace contains the query root span")
+}
+
+fn str_attr(span: &obs::SpanRecord, key: &str) -> Option<String> {
+    span.attrs.iter().find_map(|(k, v)| match v {
+        obs::AttrValue::Str(s) if *k == key => Some(s.clone()),
+        _ => None,
+    })
+}
+
+fn measure(spec: &ScenarioSpec, k: usize) -> (Row, Vec<obs::Event>) {
+    // Untraced first: the baseline the <2% overhead acceptance refers to.
+    let (untraced_outcome, untraced_seconds) = run_query(spec, k);
+
+    let sink = Arc::new(obs::MemorySink::new());
+    obs::install(sink.clone());
+    let (outcome, _) = run_query(spec, k);
+    obs::uninstall();
+    let events = sink.events();
+    let spans: Vec<obs::SpanRecord> = sink.spans();
+
+    let verdict = outcome.verdict_name();
+    assert_eq!(
+        verdict,
+        untraced_outcome.verdict_name(),
+        "{}: tracing changed the verdict",
+        spec.id
+    );
+    let root = root_span(&spans);
+    assert_eq!(
+        str_attr(root, "verdict").as_deref(),
+        Some(verdict),
+        "{}: root span verdict does not match the engine verdict",
+        spec.id
+    );
+    let phases = attribute_phases(&spans);
+    let row = Row {
+        verdict,
+        stats: outcome.stats(),
+        phases,
+        untraced_seconds,
+    };
+    (row, events)
+}
+
+/// The 10% phase-sum acceptance: the root span and the engine's own
+/// `runtime` measure the same interval through two independent clocks, and
+/// the phase sum is the root span by construction (`other` is the residual).
+fn check_phase_sum(id: &str, row: &Row) -> Result<(), String> {
+    let runtime = row.stats.runtime.as_secs_f64();
+    let sum = row.phases.encode + row.phases.simplify + row.phases.search + row.phases.other;
+    let tolerance = (runtime * 0.10).max(0.005); // floor for sub-ms queries
+    if (sum - runtime).abs() > tolerance {
+        return Err(format!(
+            "{id}: phase sum {sum:.4}s deviates from query runtime {runtime:.4}s by more than 10%"
+        ));
+    }
+    let sliced = row.phases.encode + row.phases.simplify + row.phases.search;
+    if sliced > row.phases.total * 1.001 + 0.001 {
+        return Err(format!(
+            "{id}: named phases {sliced:.4}s exceed the root span {:.4}s",
+            row.phases.total
+        ));
+    }
+    Ok(())
+}
+
+fn json_entry(id: &str, k: usize, row: &Row) -> String {
+    let entry = JsonObject::new()
+        .field_str("id", id)
+        .field_usize("k", k)
+        .field_str("verdict", row.verdict)
+        .field_f64("total_seconds", row.phases.total, 3)
+        .field_f64("encode_seconds", row.phases.encode, 3)
+        .field_f64("simplify_seconds", row.phases.simplify, 3)
+        .field_f64("search_seconds", row.phases.search, 3)
+        .field_f64("other_seconds", row.phases.other, 3)
+        .field_f64("compile_seconds", row.phases.compile, 3)
+        .field_f64("untraced_seconds", row.untraced_seconds, 3)
+        .field_u64("conflicts", row.stats.conflicts)
+        .field_u64("propagations", row.stats.propagations)
+        .field_u64("restarts", row.stats.restarts)
+        .field_u64("arena_collections", row.stats.arena_collections)
+        .finish();
+    format!("    {entry}")
+}
+
+fn write_jsonl(path: &str, events: &[obs::Event]) {
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    for event in events {
+        let line = match event {
+            obs::Event::Span(s) => obs::span_to_jsonl(s),
+            obs::Event::Counter(c) => obs::counter_to_jsonl(c),
+        };
+        writeln!(file, "{line}").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+}
+
+/// CI smoke gate: one scenario at k=1 through the real JSONL file sink.
+fn smoke() {
+    let spec = scenarios::by_id(SMOKE_ID).expect("smoke scenario is registered");
+    let k = 1;
+    let path = std::env::temp_dir().join("upec_trace_smoke.jsonl");
+
+    let sink = Arc::new(obs::JsonlSink::create(&path).expect("create smoke trace file"));
+    obs::install(sink);
+    let (outcome, _) = run_query(&spec, k);
+    obs::uninstall(); // flushes
+    let verdict = outcome.verdict_name();
+
+    let contents = std::fs::read_to_string(&path).expect("read smoke trace back");
+    let mut lines = 0usize;
+    let mut root_ok = false;
+    for (i, line) in contents.lines().enumerate() {
+        if let Err(e) = validate(line) {
+            eprintln!("smoke: line {} is not valid JSON: {e}\n  {line}", i + 1);
+            std::process::exit(1);
+        }
+        lines += 1;
+        if line.contains("\"name\":\"upec.check_bound\"")
+            && line.contains(&format!("\"verdict\":\"{verdict}\""))
+        {
+            root_ok = true;
+        }
+    }
+    if lines == 0 {
+        eprintln!("smoke: trace file is empty");
+        std::process::exit(1);
+    }
+    if !root_ok {
+        eprintln!("smoke: no root span carrying the engine verdict `{verdict}`");
+        std::process::exit(1);
+    }
+
+    // Semantic pass through the in-memory sink: phase-sum sanity.
+    let (row, _) = measure(&spec, k);
+    if let Err(e) = check_phase_sum(spec.id, &row) {
+        eprintln!("smoke: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "smoke: {} at k={k} traced {lines} JSONL events, verdict `{verdict}`, phase sum within \
+         tolerance",
+        spec.id
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut ids: Vec<String> = Vec::new();
+    let mut k_override: Option<usize> = None;
+    let mut out_path = "BENCH_trace.json".to_string();
+    let mut jsonl_path: Option<String> = None;
+    let mut run_smoke = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--k" => {
+                let parsed = args.next().and_then(|v| v.parse().ok());
+                let Some(k) = parsed else {
+                    eprintln!("--k needs a numeric value");
+                    std::process::exit(2);
+                };
+                k_override = Some(k);
+            }
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                };
+                out_path = path;
+            }
+            "--jsonl" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--jsonl needs a path");
+                    std::process::exit(2);
+                };
+                jsonl_path = Some(path);
+            }
+            "--smoke" => run_smoke = true,
+            id => ids.push(id.to_string()),
+        }
+    }
+    if run_smoke {
+        smoke();
+        return;
+    }
+    if ids.is_empty() {
+        ids = scenarios::all().iter().map(|s| s.id.to_string()).collect();
+    }
+    let k = k_override.unwrap_or(2);
+
+    println!(
+        "{:<18} {:>2}  {:>8} {:>8} {:>8} {:>8} {:>8}  {:>8}  verdict",
+        "scenario", "k", "total", "encode", "simplif", "search", "other", "untraced"
+    );
+    let mut entries = Vec::new();
+    let mut all_events: Vec<obs::Event> = Vec::new();
+    let mut agg = Phases {
+        total: 0.0,
+        encode: 0.0,
+        simplify: 0.0,
+        search: 0.0,
+        other: 0.0,
+        compile: 0.0,
+    };
+    let mut untraced_total = 0.0f64;
+    let mut failures = Vec::new();
+    for id in &ids {
+        let spec = scenarios::by_id(id).unwrap_or_else(|| {
+            eprintln!("unknown scenario `{id}`; known ids:");
+            for s in scenarios::all() {
+                eprintln!("  {}", s.id);
+            }
+            std::process::exit(2);
+        });
+        let (row, events) = measure(&spec, k);
+        if let Err(e) = check_phase_sum(spec.id, &row) {
+            failures.push(e);
+        }
+        println!(
+            "{:<18} {:>2}  {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s  {:>7.2}s  {}",
+            spec.id,
+            k,
+            row.phases.total,
+            row.phases.encode,
+            row.phases.simplify,
+            row.phases.search,
+            row.phases.other,
+            row.untraced_seconds,
+            row.verdict,
+        );
+        agg.total += row.phases.total;
+        agg.encode += row.phases.encode;
+        agg.simplify += row.phases.simplify;
+        agg.search += row.phases.search;
+        agg.other += row.phases.other;
+        agg.compile += row.phases.compile;
+        untraced_total += row.untraced_seconds;
+        entries.push(json_entry(spec.id, k, &row));
+        if jsonl_path.is_some() {
+            all_events.extend(events);
+        }
+    }
+
+    let pct = |part: f64| {
+        if agg.total > 0.0 {
+            100.0 * part / agg.total
+        } else {
+            0.0
+        }
+    };
+    let overhead_percent = if untraced_total > 0.0 {
+        100.0 * (agg.total - untraced_total) / untraced_total
+    } else {
+        0.0
+    };
+    println!(
+        "\naggregate {:.2}s: encode {:.2}s ({:.1}%), simplify {:.2}s ({:.1}%), search {:.2}s \
+         ({:.1}%), other {:.2}s ({:.1}%); untraced {:.2}s (tracing overhead {:+.1}%)",
+        agg.total,
+        agg.encode,
+        pct(agg.encode),
+        agg.simplify,
+        pct(agg.simplify),
+        agg.search,
+        pct(agg.search),
+        agg.other,
+        pct(agg.other),
+        untraced_total,
+        overhead_percent,
+    );
+
+    let aggregate = JsonObject::new()
+        .field_f64("total_seconds", agg.total, 3)
+        .field_f64("encode_seconds", agg.encode, 3)
+        .field_f64("simplify_seconds", agg.simplify, 3)
+        .field_f64("search_seconds", agg.search, 3)
+        .field_f64("other_seconds", agg.other, 3)
+        .field_f64("compile_seconds", agg.compile, 3)
+        .field_f64("untraced_seconds", untraced_total, 3)
+        .field_f64("tracing_overhead_percent", overhead_percent, 1)
+        .finish();
+    let json = format!(
+        "{{\n  \"bench\": \"trace_report\",\n  \"unit\": \"seconds per phase (encode/simplify/\
+         search/other of the traced query)\",\n  \"k\": {k},\n  \"aggregate\": {aggregate},\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    if let Some(path) = jsonl_path {
+        write_jsonl(&path, &all_events);
+        println!("wrote {path} ({} events)", all_events.len());
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("PHASE SUM FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,331 @@
+//! Minimal JSON formatting and validation shared by the bench binaries.
+//!
+//! The trajectory files (`BENCH_unroll.json`, `BENCH_solver.json`,
+//! `BENCH_trace.json`) are hand-formatted — stable field order, fixed
+//! decimal places — so diffs between bench runs stay readable. This module
+//! centralizes the object builder and string escaping that
+//! `solver_stats.rs`, `compile_stats.rs` and `trace_report.rs` previously
+//! each hand-rolled, plus a validating parser the smoke gates use to check
+//! that emitted JSON/JSONL actually parses.
+
+use std::fmt::Write as _;
+
+/// Returns `value` JSON-escaped (no surrounding quotes). Delegates to the
+/// telemetry crate's escaper so bench output and trace output agree on the
+/// wire format.
+pub fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    obs::json_escape_into(&mut out, value);
+    out
+}
+
+/// Builder for a single-line JSON object in the bench house style:
+/// `{"key": value, "key2": value2}` with fields emitted in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, name: &str) -> &mut String {
+        if !self.body.is_empty() {
+            self.body.push_str(", ");
+        }
+        self.body.push('"');
+        obs::json_escape_into(&mut self.body, name);
+        self.body.push_str("\": ");
+        &mut self.body
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(mut self, name: &str, value: u64) -> Self {
+        let _ = write!(self.key(name), "{value}");
+        self
+    }
+
+    /// Adds a `usize` field.
+    pub fn field_usize(self, name: &str, value: usize) -> Self {
+        self.field_u64(name, value as u64)
+    }
+
+    /// Adds a float field rendered with a fixed number of decimals.
+    pub fn field_f64(mut self, name: &str, value: f64, decimals: usize) -> Self {
+        let _ = write!(self.key(name), "{value:.decimals$}");
+        self
+    }
+
+    /// Adds a string field (escaped and quoted).
+    pub fn field_str(mut self, name: &str, value: &str) -> Self {
+        let body = self.key(name);
+        body.push('"');
+        obs::json_escape_into(body, value);
+        body.push('"');
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON (a nested object
+    /// or array).
+    pub fn field_raw(mut self, name: &str, value: &str) -> Self {
+        self.key(name).push_str(value);
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Validates that `input` is one complete JSON value (with optional
+/// surrounding whitespace). Returns a description of the first syntax error.
+///
+/// This is a validator, not a parser: it builds no value tree, which keeps
+/// it dependency-free and fast enough to run over every line of a trace in
+/// the CI smoke gate.
+pub fn validate(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", byte as char, *pos))
+    }
+}
+
+fn value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(b'{') => object(bytes, pos),
+        Some(b'[') => array(bytes, pos),
+        Some(b'"') => string(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(bytes, pos),
+        Some(c) => Err(format!("unexpected `{}` at byte {}", *c as char, *pos)),
+        None => Err(format!("unexpected end of input at byte {}", *pos)),
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'{')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'[')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !bytes.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {}", *pos));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control character at byte {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| -> bool {
+        let before = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > before
+    };
+    if !digits(bytes, pos) {
+        return Err(format!("malformed number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(format!("malformed number at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(format!("malformed number at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, expected: &[u8]) -> Result<(), String> {
+    if bytes.len() >= *pos + expected.len() && &bytes[*pos..*pos + expected.len()] == expected {
+        *pos += expected.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder_matches_house_style() {
+        let obj = JsonObject::new()
+            .field_str("id", "orc")
+            .field_u64("k", 2)
+            .field_f64("solve_seconds", 1.2345, 3)
+            .field_raw("nested", "{\"a\": 1}")
+            .finish();
+        assert_eq!(
+            obj,
+            "{\"id\": \"orc\", \"k\": 2, \"solve_seconds\": 1.234, \"nested\": {\"a\": 1}}"
+        );
+        validate(&obj).expect("builder output parses");
+    }
+
+    #[test]
+    fn escape_handles_special_characters() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn validator_accepts_valid_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-3",
+            "\"a\\u0041\"",
+            "{\"a\": [1, 2, {\"b\": null}], \"c\": \"x\"}",
+            " { \"spaced\" : 1 } ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_json() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "01e",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "nul",
+        ] {
+            assert!(validate(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_real_trace_lines() {
+        let span = obs::SpanRecord {
+            id: 3,
+            parent: None,
+            name: "upec.check_bound",
+            start_ns: 17,
+            duration_ns: 9000,
+            attrs: vec![
+                ("verdict", obs::AttrValue::Str("proven".to_string())),
+                ("window", obs::AttrValue::U64(2)),
+            ],
+        };
+        validate(&obs::span_to_jsonl(&span)).expect("span line parses");
+        let counter = obs::CounterRecord {
+            span: Some(3),
+            name: "propagations",
+            value: 12,
+        };
+        validate(&obs::counter_to_jsonl(&counter)).expect("counter line parses");
+    }
+}

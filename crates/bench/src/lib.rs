@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use soc::{Program, SocConfig, SocVariant};
 use upec::scenarios;
 

@@ -193,6 +193,7 @@ impl CompiledTransition {
     }
 
     fn build(netlist: &Netlist, roots: Option<&[SignalId]>) -> Self {
+        let mut span = obs::span("bmc.compile");
         netlist
             .validate()
             .expect("netlist must be valid before compilation");
@@ -475,6 +476,11 @@ impl CompiledTransition {
             folded_signals,
             coi: coi.stats(),
         };
+        span.attr_u64("netlist_signals", stats.netlist_signals as u64);
+        span.attr_u64("scheduled_slots", stats.scheduled_slots as u64);
+        span.attr_u64("pruned_signals", stats.pruned_signals as u64);
+        span.attr_u64("hashed_signals", stats.hashed_signals as u64);
+        span.attr_u64("folded_signals", stats.folded_signals as u64);
         Self {
             ops,
             widths,

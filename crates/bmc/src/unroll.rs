@@ -469,6 +469,8 @@ impl<'n> Unrolling<'n> {
 
     fn build_eager_frame(&mut self) {
         let t = self.frame_count();
+        let mut span = obs::span("bmc.encode_frame");
+        span.attr_u64("frame", t as u64);
         let mut frame: Vec<Vec<Lit>> = Vec::with_capacity(self.netlist.len());
         for id in self.netlist.signals() {
             let lits = self.encode_netlist_node(t, id, &frame);
@@ -478,6 +480,7 @@ impl<'n> Unrolling<'n> {
             frame.push(lits);
         }
         self.encoded_slots += frame.len();
+        span.attr_u64("slots", frame.len() as u64);
         match &mut self.backend {
             Backend::Eager { frames } => frames.push(frame),
             Backend::Compiled { .. } => unreachable!("eager frame on compiled backend"),
@@ -1106,7 +1109,11 @@ impl<'n> Unrolling<'n> {
         let solver = self.gates.solver_mut();
         let conflicts_before = solver.stats().conflicts;
         solver.set_conflict_limit(Some(trial_limit));
-        let result = solver.solve_with_assumptions(assumptions);
+        let result = {
+            let mut span = obs::span("bmc.trial_solve");
+            span.attr_u64("trial_limit", trial_limit);
+            solver.solve_with_assumptions(assumptions)
+        };
         solver.set_conflict_limit(user_limit);
         let spent = solver.stats().conflicts.saturating_sub(conflicts_before);
         let user_exhausted = user_limit.is_some_and(|l| spent >= l);

@@ -124,6 +124,12 @@ pub struct UpecStats {
     pub clauses: usize,
     /// SAT conflicts spent.
     pub conflicts: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Solver restarts performed.
+    pub restarts: u64,
+    /// Compacting clause-arena garbage collections performed.
+    pub arena_collections: u64,
     /// Wall-clock runtime of the check.
     pub runtime: Duration,
     /// Window length checked.

@@ -336,6 +336,9 @@ impl UpecEngine {
         stride: usize,
         cancel: &Arc<AtomicBool>,
     ) -> StripeOutcome {
+        let mut scenario_span = obs::span("upec.scenario");
+        scenario_span.attr_str("id", spec.id);
+        scenario_span.attr_u64("stripe", stripe as u64);
         let model = spec.build_model();
         let mut session = IncrementalSession::new(&model, self.options.conflict_limit);
         session.set_interrupt(Some(cancel.clone()));

@@ -149,7 +149,11 @@ impl<'m> IncrementalSession<'m> {
     /// Panics if the commitment is empty or names an unknown register.
     pub fn check_bound(&mut self, k: usize, commitment: &BTreeSet<String>) -> UpecOutcome {
         let start = Instant::now();
+        let mut query_span = obs::span("upec.check_bound");
+        query_span.attr_u64("window", k as u64);
         let stats_before = self.unrolling.solver_stats();
+        let mut encode_span = obs::span("bmc.encode");
+        let slots_before = self.unrolling.encode_stats().encoded_slots;
         self.unrolling.extend_to(k);
         while self.constrained_through < k {
             self.constrained_through += 1;
@@ -188,6 +192,9 @@ impl<'m> IncrementalSession<'m> {
         let activation = self.unrolling.fresh_lit();
         self.unrolling
             .add_clause_activated(activation, obligation_lits.iter().map(|(_, l)| !*l));
+        let encoded_slots = self.unrolling.encode_stats().encoded_slots - slots_before;
+        encode_span.attr_u64("encoded_slots", encoded_slots as u64);
+        drop(encode_span);
 
         let result = self.unrolling.solve(&[activation]);
         let delta = self.unrolling.solver_stats().delta_since(&stats_before);
@@ -195,6 +202,9 @@ impl<'m> IncrementalSession<'m> {
             variables: self.unrolling.num_vars(),
             clauses: self.unrolling.num_clauses(),
             conflicts: delta.conflicts,
+            propagations: delta.propagations,
+            restarts: delta.restarts,
+            arena_collections: delta.arena_collections,
             runtime: start.elapsed(),
             window: k,
         };
@@ -242,6 +252,11 @@ impl<'m> IncrementalSession<'m> {
             }
         };
         self.unrolling.retire_activation(activation);
+        query_span.attr_str("verdict", outcome.verdict_name());
+        query_span.attr_u64("conflicts", delta.conflicts);
+        query_span.attr_u64("propagations", delta.propagations);
+        query_span.attr_u64("restarts", delta.restarts);
+        query_span.attr_u64("arena_collections", delta.arena_collections);
         outcome
     }
 }

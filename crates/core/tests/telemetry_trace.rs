@@ -1,0 +1,171 @@
+//! End-to-end telemetry of one UPEC query: the span taxonomy documented in
+//! `docs/observability.md` must actually come out of `check_bound`, with
+//! correct nesting, close ordering, verdict attribution and counter
+//! placement. Collected through the in-memory sink; the JSONL wire format
+//! of the same records is golden-tested in the `obs` crate itself.
+//!
+//! All assertions live in a single test because the sink is process-global:
+//! one install, one traced query, many checks.
+
+use std::sync::Arc;
+use upec::engine::IncrementalSession;
+use upec::scenarios;
+use upec::UpecOptions;
+
+fn u64_attr(span: &obs::SpanRecord, key: &str) -> Option<u64> {
+    span.attrs.iter().find_map(|(k, v)| match v {
+        obs::AttrValue::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+fn str_attr(span: &obs::SpanRecord, key: &str) -> Option<String> {
+    span.attrs.iter().find_map(|(k, v)| match v {
+        obs::AttrValue::Str(s) if *k == key => Some(s.clone()),
+        _ => None,
+    })
+}
+
+#[test]
+fn traced_query_produces_the_documented_span_tree() {
+    let spec = scenarios::by_id("cache-footprint").expect("registered");
+
+    // Install before model construction: transition compilation (and its
+    // COI analysis) happens while the model is built.
+    let sink = Arc::new(obs::MemorySink::new());
+    obs::install(sink.clone());
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+    let mut session = IncrementalSession::with_options(&model, UpecOptions::window(1));
+    let outcome = session.check_bound(1, &commitment);
+    obs::uninstall();
+
+    let spans = sink.spans();
+    let counters = sink.counters();
+
+    // Root: the query span, carrying window and verdict.
+    let root = spans
+        .iter()
+        .find(|s| s.name == "upec.check_bound")
+        .expect("query root span recorded");
+    assert_eq!(root.parent, None, "check_bound is the trace root");
+    assert_eq!(u64_attr(root, "window"), Some(1));
+    assert_eq!(
+        str_attr(root, "verdict").as_deref(),
+        Some(outcome.verdict_name()),
+        "root span verdict matches the engine verdict"
+    );
+
+    // Encode phase: a direct child of the root.
+    let encode = spans
+        .iter()
+        .find(|s| s.name == "bmc.encode")
+        .expect("encode span recorded");
+    assert_eq!(encode.parent, Some(root.id), "encode nests under the query");
+
+    // Search: at least one solver episode, a descendant of the root.
+    let search = spans
+        .iter()
+        .find(|s| s.name == "sat.search")
+        .expect("search span recorded");
+    let mut ancestor = search.parent;
+    let mut reaches_root = false;
+    while let Some(id) = ancestor {
+        if id == root.id {
+            reaches_root = true;
+            break;
+        }
+        ancestor = spans.iter().find(|s| s.id == id).and_then(|s| s.parent);
+    }
+    assert!(
+        reaches_root,
+        "search span is a descendant of the query root"
+    );
+    assert!(
+        str_attr(search, "result").is_some(),
+        "search span records its result"
+    );
+
+    // The compile span fired during session construction, outside the query.
+    let compile = spans
+        .iter()
+        .find(|s| s.name == "bmc.compile")
+        .expect("compile span recorded");
+    assert_eq!(compile.parent, None, "compilation is not part of the query");
+    assert!(u64_attr(compile, "scheduled_slots").is_some());
+    assert!(
+        spans.iter().any(|s| s.name == "rtl.coi"),
+        "COI analysis span recorded"
+    );
+
+    // Close ordering: children close before their parents, so the root is
+    // recorded after encode and after the search episodes.
+    let pos = |id: u64| spans.iter().position(|s| s.id == id).unwrap();
+    assert!(pos(encode.id) < pos(root.id));
+    assert!(pos(search.id) < pos(root.id));
+
+    // Spans nest in time: every child lies inside its parent's interval
+    // (same monotonic clock, so this is exact).
+    for child in &spans {
+        if let Some(parent) = child.parent.and_then(|p| spans.iter().find(|s| s.id == p)) {
+            assert!(
+                child.start_ns >= parent.start_ns
+                    && child.start_ns + child.duration_ns <= parent.start_ns + parent.duration_ns,
+                "span {} [{}..{}] escapes its parent {} [{}..{}]",
+                child.name,
+                child.start_ns,
+                child.start_ns + child.duration_ns,
+                parent.name,
+                parent.start_ns,
+                parent.start_ns + parent.duration_ns,
+            );
+        }
+    }
+
+    // Phase durations are slices of the root: named phases cannot exceed it.
+    let sum = |name: &str| -> u64 {
+        spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration_ns)
+            .sum()
+    };
+    let sliced = sum("bmc.encode") + sum("sat.simplify") + sum("sat.search");
+    assert!(
+        sliced <= root.duration_ns,
+        "phases {sliced}ns exceed the root span {}ns",
+        root.duration_ns
+    );
+
+    // Solver counters are attributed to the search span that emitted them.
+    for name in ["propagations", "conflicts", "restarts", "arena_collections"] {
+        let counter = counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("counter `{name}` emitted"));
+        let owner = counter.span.expect("counter attributed to a span");
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.id == owner && s.name == "sat.search"),
+            "counter `{name}` attributed to a search span"
+        );
+    }
+
+    // The query's stats agree with the counters on the search span.
+    let stats = outcome.stats();
+    let total = |name: &str| -> u64 {
+        counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    };
+    assert_eq!(total("conflicts"), stats.conflicts);
+    assert_eq!(total("restarts"), stats.restarts);
+    assert_eq!(total("arena_collections"), stats.arena_collections);
+    // Propagations also accrue inside the simplify pipeline (failed-literal
+    // probing), outside any search span — so the search spans can only
+    // account for at most the query total.
+    assert!(total("propagations") <= stats.propagations);
+}

@@ -1,0 +1,338 @@
+//! # `obs` — query-level telemetry for the UPEC pipeline
+//!
+//! Zero-dependency hierarchical spans, named counters and pluggable trace
+//! sinks. Every layer of the verification stack (`rtl`, `sat`, `bmc`,
+//! `upec`, `bench`) records what it spends time on through this crate, so a
+//! single UPEC query can be attributed phase by phase: cone-of-influence
+//! analysis, transition compilation, Tseitin encoding, the CNF
+//! simplification pipeline (pass by pass), trial solves and CDCL search.
+//!
+//! # Design
+//!
+//! * **Spans** are RAII guards ([`span`] returns a [`SpanGuard`]) timed with
+//!   the monotonic clock. A thread-local stack links each span to its
+//!   parent, so nesting is recorded without any caller plumbing. Guards can
+//!   carry typed attributes ([`SpanGuard::attr_u64`] and friends).
+//! * **Counters** ([`counter`]) are point events attributed to the
+//!   innermost open span of the calling thread — the solver emits its
+//!   propagation/conflict/restart deltas this way.
+//! * **Sinks** ([`Sink`]) receive finished spans and counters. The crate
+//!   ships a lock-protected JSONL writer ([`JsonlSink`]) and an in-memory
+//!   collector for tests and aggregation ([`MemorySink`]).
+//! * **The disabled path is compile-cheap.** With no sink installed,
+//!   [`span`] and [`counter`] cost one relaxed atomic load and allocate
+//!   nothing — the instrumentation can stay on in production code paths.
+//!   The `no_alloc` test suite pins this with a counting allocator.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(obs::MemorySink::new());
+//! obs::install(sink.clone());
+//! {
+//!     let mut outer = obs::span("query");
+//!     outer.attr_str("scenario", "orc");
+//!     let _inner = obs::span("solve");
+//!     obs::counter("conflicts", 42);
+//! }
+//! obs::uninstall();
+//! let events = sink.events();
+//! assert_eq!(events.len(), 3); // counter, inner span, outer span
+//! ```
+
+#![deny(missing_docs)]
+
+mod sink;
+
+pub use sink::{
+    counter_to_jsonl, json_escape_into, span_to_jsonl, AttrValue, CounterRecord, Event, JsonlSink,
+    MemorySink, Sink, SpanRecord,
+};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Fast-path gate: `true` exactly while a sink is installed. Checked with a
+/// single relaxed load before anything else happens in [`span`]/[`counter`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonically increasing span-id source (0 is reserved for "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The installed sink, if any.
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// The process-wide trace epoch: all span start times are nanosecond offsets
+/// from this instant.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Installs `sink` as the process-wide trace sink and enables tracing.
+///
+/// Replaces any previously installed sink. Spans that are already open keep
+/// recording into whatever sink is installed when they *close*.
+pub fn install(sink: Arc<dyn Sink>) {
+    // Initialize the epoch before the first span can observe it, so start
+    // offsets are relative to (roughly) the install point of the first sink.
+    let _ = epoch();
+    *SINK.write().expect("obs sink lock poisoned") = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed sink (disabling tracing) and returns it, flushing
+/// it first.
+pub fn uninstall() -> Option<Arc<dyn Sink>> {
+    ENABLED.store(false, Ordering::Release);
+    let sink = SINK.write().expect("obs sink lock poisoned").take();
+    if let Some(s) = &sink {
+        s.flush();
+    }
+    sink
+}
+
+/// Whether a sink is currently installed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Runs `f` on the installed sink, if any. Spans that closed while the sink
+/// was being swapped are simply dropped — telemetry is best-effort.
+fn with_sink(f: impl FnOnce(&dyn Sink)) {
+    if let Ok(guard) = SINK.read() {
+        if let Some(sink) = guard.as_ref() {
+            f(sink.as_ref());
+        }
+    }
+}
+
+/// Live state of an enabled span, owned by its [`SpanGuard`].
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// RAII guard of one span: the span covers the guard's lifetime and is
+/// recorded to the installed sink when the guard drops.
+///
+/// Guards must be dropped in LIFO order on each thread (the natural order of
+/// nested scopes); the parent of a span is whatever span was innermost on
+/// the same thread when [`span`] was called.
+#[derive(Debug)]
+#[must_use = "a span measures the guard's lifetime; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+/// Opens a span named `name`.
+///
+/// With no sink installed this is one relaxed atomic load and returns an
+/// inert guard — no allocation, no thread-local access, no clock read.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let start = Instant::now();
+    let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+    SpanGuard {
+        active: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            start,
+            start_ns,
+            attrs: Vec::new(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// The span's id, if tracing was enabled when it was opened.
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
+    /// Attaches an unsigned integer attribute.
+    pub fn attr_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(a) = &mut self.active {
+            a.attrs.push((key, AttrValue::U64(value)));
+        }
+    }
+
+    /// Attaches a signed integer attribute.
+    pub fn attr_i64(&mut self, key: &'static str, value: i64) {
+        if let Some(a) = &mut self.active {
+            a.attrs.push((key, AttrValue::I64(value)));
+        }
+    }
+
+    /// Attaches a floating-point attribute.
+    pub fn attr_f64(&mut self, key: &'static str, value: f64) {
+        if let Some(a) = &mut self.active {
+            a.attrs.push((key, AttrValue::F64(value)));
+        }
+    }
+
+    /// Attaches a boolean attribute.
+    pub fn attr_bool(&mut self, key: &'static str, value: bool) {
+        if let Some(a) = &mut self.active {
+            a.attrs.push((key, AttrValue::Bool(value)));
+        }
+    }
+
+    /// Attaches a string attribute. The string is only copied when the span
+    /// is live (the disabled path allocates nothing).
+    pub fn attr_str(&mut self, key: &'static str, value: &str) {
+        if let Some(a) = &mut self.active {
+            a.attrs.push((key, AttrValue::Str(value.to_string())));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            debug_assert_eq!(
+                stack.last().copied(),
+                Some(active.id),
+                "span guards must drop in LIFO order"
+            );
+            // Be robust against a mis-nested guard in release builds: remove
+            // this span wherever it sits instead of corrupting the stack.
+            if stack.last() == Some(&active.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        let duration_ns = active.start.elapsed().as_nanos() as u64;
+        let record = SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            start_ns: active.start_ns,
+            duration_ns,
+            attrs: active.attrs,
+        };
+        with_sink(|sink| sink.record_span(&record));
+    }
+}
+
+/// Emits a named counter value, attributed to the calling thread's innermost
+/// open span (if any).
+///
+/// With no sink installed this is one relaxed atomic load and nothing else.
+pub fn counter(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let span = SPAN_STACK.with(|stack| stack.borrow().last().copied());
+    let record = CounterRecord { span, name, value };
+    with_sink(|sink| sink.record_counter(&record));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that install the process-global sink.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        uninstall();
+        let mut s = span("never-recorded");
+        assert_eq!(s.id(), None);
+        s.attr_u64("k", 1);
+        counter("ignored", 7);
+        drop(s);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_counters_attach() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        let outer_id;
+        let inner_id;
+        {
+            let outer = span("outer");
+            outer_id = outer.id().unwrap();
+            {
+                let mut inner = span("inner");
+                inner.attr_str("phase", "x");
+                inner_id = inner.id().unwrap();
+                counter("ticks", 3);
+            }
+            counter("outer_ticks", 1);
+        }
+        uninstall();
+        let events = sink.events();
+        // Order: inner counter, inner span, outer counter, outer span.
+        assert_eq!(events.len(), 4);
+        match &events[0] {
+            Event::Counter(c) => {
+                assert_eq!(c.name, "ticks");
+                assert_eq!(c.span, Some(inner_id));
+            }
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match &events[1] {
+            Event::Span(s) => {
+                assert_eq!(s.name, "inner");
+                assert_eq!(s.parent, Some(outer_id));
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        match &events[3] {
+            Event::Span(s) => {
+                assert_eq!(s.name, "outer");
+                assert_eq!(s.parent, None);
+                assert_eq!(s.id, outer_id);
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uninstall_returns_the_sink_and_disables() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let sink = Arc::new(MemorySink::new());
+        install(sink);
+        assert!(enabled());
+        let returned = uninstall();
+        assert!(returned.is_some());
+        assert!(!enabled());
+        assert!(uninstall().is_none());
+    }
+}

@@ -78,6 +78,7 @@ impl Coi {
     where
         I: IntoIterator<Item = SignalId>,
     {
+        let mut span = obs::span("rtl.coi");
         let mut in_cone = vec![false; netlist.len()];
         let mut stack: Vec<SignalId> = Vec::new();
         for root in roots {
@@ -117,6 +118,10 @@ impl Coi {
             total_registers: netlist.register_count(),
             cone_registers,
         };
+        span.attr_u64("total_signals", stats.total_signals as u64);
+        span.attr_u64("cone_signals", stats.cone_signals as u64);
+        span.attr_u64("total_registers", stats.total_registers as u64);
+        span.attr_u64("cone_registers", stats.cone_registers as u64);
         Self { in_cone, stats }
     }
 

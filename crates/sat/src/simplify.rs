@@ -145,6 +145,31 @@ pub struct SimplifyStats {
     pub dropped_learnts: u64,
 }
 
+impl SimplifyStats {
+    /// Counter difference `self - earlier`, for attributing the work of a
+    /// single `simplify` call. All fields are monotonically increasing
+    /// counters; subtraction saturates so a mismatched snapshot cannot
+    /// underflow. Mirrors [`crate::SolverStats::delta_since`].
+    pub fn delta_since(&self, earlier: &SimplifyStats) -> SimplifyStats {
+        SimplifyStats {
+            rounds: self.rounds.saturating_sub(earlier.rounds),
+            removed_clauses: self.removed_clauses.saturating_sub(earlier.removed_clauses),
+            strengthened_lits: self
+                .strengthened_lits
+                .saturating_sub(earlier.strengthened_lits),
+            subsumed_clauses: self
+                .subsumed_clauses
+                .saturating_sub(earlier.subsumed_clauses),
+            eliminated_vars: self.eliminated_vars.saturating_sub(earlier.eliminated_vars),
+            resolvent_clauses: self
+                .resolvent_clauses
+                .saturating_sub(earlier.resolvent_clauses),
+            failed_literals: self.failed_literals.saturating_sub(earlier.failed_literals),
+            dropped_learnts: self.dropped_learnts.saturating_sub(earlier.dropped_learnts),
+        }
+    }
+}
+
 /// One eliminated variable together with the clauses its elimination
 /// removed, kept for model extension.
 #[derive(Debug, Clone)]
@@ -283,18 +308,28 @@ impl Solver {
             return false;
         }
         self.simp_stats.rounds += 1;
+        let stats_before = self.simp_stats;
+        let mut span = obs::span("sat.simplify");
 
-        if config.failed_literals && !self.probe_failed_literals(config) {
-            self.ok = false;
-            return false;
+        if config.failed_literals {
+            let _probe = obs::span("simplify.probe");
+            if !self.probe_failed_literals(config) {
+                self.ok = false;
+                return false;
+            }
         }
 
-        let mut clauses = self.extract_clauses();
-        if !self.clean_until_fixpoint(&mut clauses) {
-            self.ok = false;
-            return false;
-        }
+        let mut clauses = {
+            let _extract = obs::span("simplify.extract");
+            let mut clauses = self.extract_clauses();
+            if !self.clean_until_fixpoint(&mut clauses) {
+                self.ok = false;
+                return false;
+            }
+            clauses
+        };
         if config.subsumption {
+            let _subsume = obs::span("simplify.subsume");
             if !self.subsume_pass(&mut clauses, config) {
                 self.ok = false;
                 return false;
@@ -305,6 +340,7 @@ impl Solver {
             }
         }
         if config.var_elim {
+            let _elim = obs::span("simplify.elim");
             if !self.eliminate_pass(&mut clauses, config) {
                 self.ok = false;
                 return false;
@@ -314,7 +350,18 @@ impl Solver {
                 return false;
             }
         }
-        self.rebuild(clauses);
+        {
+            let _rebuild = obs::span("simplify.rebuild");
+            self.rebuild(clauses);
+        }
+        if span.id().is_some() {
+            let d = self.simp_stats.delta_since(&stats_before);
+            span.attr_u64("removed_clauses", d.removed_clauses);
+            span.attr_u64("strengthened_lits", d.strengthened_lits);
+            span.attr_u64("subsumed_clauses", d.subsumed_clauses);
+            span.attr_u64("eliminated_vars", d.eliminated_vars);
+            span.attr_u64("failed_literals", d.failed_literals);
+        }
         true
     }
 
@@ -691,10 +738,21 @@ impl Solver {
         self.num_bin_clauses = 0;
         self.num_learnts = 0;
         // All trail entries are top-level facts now; their reasons pointed
-        // into the old database.
+        // into the old database. Unassigned variables already carry no
+        // clause reference (`backtrack_to` scrubs on unassignment), so this
+        // trail walk leaves the whole solver free of old-arena indices.
         for i in 0..self.trail.len() {
             let vi = self.trail[i].var().index();
             self.var_data[vi].reason = Reason::Decision;
+        }
+        #[cfg(debug_assertions)]
+        for (vi, d) in self.var_data.iter().enumerate() {
+            if self.assigns[vi] == LBool::Undef {
+                debug_assert!(
+                    !matches!(d.reason, Reason::Long(_)),
+                    "unassigned v{vi} carries a clause-index reason into rebuild"
+                );
+            }
         }
         for c in clauses {
             if c.deleted {

@@ -865,6 +865,12 @@ impl Solver {
             let lit = self.trail[i];
             let v = lit.var();
             self.assigns[v.index()] = LBool::Undef;
+            // Scrub the reason on unassignment: a clause-index reason on an
+            // unassigned variable would dangle across database reduction,
+            // arena collection and simplifier rebuilds. This store makes
+            // "unassigned ⇒ no clause reference" a global invariant that
+            // `debug_validate` checks unconditionally.
+            self.var_data[v.index()].reason = Reason::Decision;
             self.phase[v.index()] = lit.is_positive();
             self.order.insert(v, &self.activity);
         }
@@ -899,12 +905,11 @@ impl Solver {
 
     fn reduce_db(&mut self) {
         // Mark the clauses currently locked as a propagation reason. Only
-        // trail (i.e. assigned) variables are consulted: unassigned
-        // variables can carry stale reasons from before a simplifier
-        // rebuild, which are never read by search and may index clauses
-        // that no longer exist. The marks live in a reusable vector
-        // (re-zeroed by the clear + resize here), so the whole reduction
-        // allocates nothing once the buffers are warm.
+        // trail (i.e. assigned) variables can carry clause reasons:
+        // `backtrack_to` scrubs the reason on every unassignment, so the
+        // trail walk sees every live lock. The marks live in a reusable
+        // vector (re-zeroed by the clear + resize here), so the whole
+        // reduction allocates nothing once the buffers are warm.
         self.locked_marks.clear();
         self.locked_marks.resize(self.headers.len(), false);
         for i in 0..self.trail.len() {
@@ -995,14 +1000,24 @@ impl Solver {
                 }
             });
         }
-        // Remap the reasons of assigned (trail) variables only; unassigned
-        // variables can carry stale reasons from before a simplifier
-        // rebuild, which are never read and must not be dereferenced here.
+        // Remap the reasons of assigned (trail) variables. Unassigned
+        // variables hold no clause reference — `backtrack_to` scrubs the
+        // reason on unassignment — so the trail walk covers every index
+        // into the old arena; the debug sweep below pins that invariant.
         for i in 0..self.trail.len() {
             let vi = self.trail[i].var().index();
             if let Reason::Long(c) = self.var_data[vi].reason {
                 debug_assert_ne!(remap[c as usize], u32::MAX, "reason clause must survive GC");
                 self.var_data[vi].reason = Reason::Long(remap[c as usize]);
+            }
+        }
+        #[cfg(debug_assertions)]
+        for (vi, d) in self.var_data.iter().enumerate() {
+            if self.assigns[vi] == LBool::Undef {
+                debug_assert!(
+                    !matches!(d.reason, Reason::Long(_)),
+                    "unassigned v{vi} carries a clause-index reason into arena GC"
+                );
             }
         }
         self.headers = new_headers;
@@ -1063,6 +1078,14 @@ impl Solver {
         }
         for (vi, d) in self.var_data.iter().enumerate() {
             if self.assigns[vi] == LBool::Undef {
+                // `backtrack_to` scrubs reasons on unassignment; a clause
+                // index surviving here would dangle across the next
+                // reduction, collection or rebuild.
+                if let Reason::Long(c) = d.reason {
+                    return Err(format!(
+                        "unassigned v{vi} carries stale clause-index reason {c}"
+                    ));
+                }
                 continue;
             }
             if let Reason::Long(c) = d.reason {
@@ -1138,6 +1161,37 @@ impl Solver {
     /// assert!(solver.solve_with_assumptions(&[!x]).is_sat()); // ... gone
     /// ```
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        // Telemetry wrapper: with no sink installed this adds one branch and
+        // falls straight through to the search; with tracing on it records a
+        // `sat.search` span carrying the episode's counter deltas.
+        if !obs::enabled() {
+            return self.solve_assumptions_inner(assumptions);
+        }
+        let mut span = obs::span("sat.search");
+        let before = self.stats;
+        let result = self.solve_assumptions_inner(assumptions);
+        let delta = self.stats.delta_since(&before);
+        span.attr_str(
+            "result",
+            match &result {
+                SatResult::Sat(_) => "sat",
+                SatResult::Unsat => "unsat",
+                SatResult::Unknown => "unknown",
+            },
+        );
+        span.attr_u64("decisions", delta.decisions);
+        span.attr_u64("conflicts", delta.conflicts);
+        span.attr_u64("propagations", delta.propagations);
+        span.attr_u64("restarts", delta.restarts);
+        span.attr_u64("arena_collections", delta.arena_collections);
+        obs::counter("conflicts", delta.conflicts);
+        obs::counter("propagations", delta.propagations);
+        obs::counter("restarts", delta.restarts);
+        obs::counter("arena_collections", delta.arena_collections);
+        result
+    }
+
+    fn solve_assumptions_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         for a in assumptions {
             assert!(
                 !self.eliminated[a.var().index()],

@@ -81,6 +81,49 @@ fn collection_survives_a_paused_search() {
     assert!(s.stats().arena_collections > 0);
 }
 
+/// Regression for the stale-reason caveat: searching assigns variables with
+/// clause-index reasons, and backtracking (restarts, conflict analysis,
+/// final model cleanup) unassigns them again. Those indices must not
+/// survive unassignment — a later reduction, collection or simplifier
+/// rebuild would leave them dangling. `debug_validate` now rejects any
+/// clause-index reason on an unassigned variable, so validating after
+/// search, after a rebuild, and after GC pins the scrub-on-backtrack
+/// behaviour.
+#[test]
+fn unassigned_vars_never_carry_clause_reasons() {
+    let mut s = pigeonhole(6, 5);
+    s.set_learnt_budget(16);
+    assert!(s.solve().is_unsat());
+    // Post-search: restarts and conflict analysis unassigned plenty of
+    // variables whose reasons were learned (long) clauses.
+    s.debug_validate()
+        .expect("no stale reasons after a conflicting search");
+
+    // Satisfiable instance: solve (backtracks to level 0 after the model),
+    // then rebuild via the simplifier, then force reductions and GC.
+    let mut s = Solver::new();
+    let vars: Vec<Lit> = (0..12).map(|_| s.new_var().positive()).collect();
+    for w in vars.windows(3) {
+        s.add_clause([w[0], w[1], w[2]]);
+        s.add_clause([!w[0], !w[2], w[1]]);
+    }
+    assert!(s.solve().is_sat());
+    s.debug_validate().expect("no stale reasons after a model");
+    assert!(s.simplify(), "instance stays consistent");
+    s.debug_validate()
+        .expect("no stale reasons after a simplifier rebuild");
+
+    let mut s = pigeonhole(7, 6);
+    s.set_learnt_budget(16);
+    s.set_conflict_limit(Some(200));
+    while s.solve() == SatResult::Unknown {
+        s.debug_validate()
+            .expect("no stale reasons at a paused search");
+    }
+    assert!(s.stats().arena_collections > 0, "GC must have fired");
+    s.debug_validate().expect("no stale reasons after GC");
+}
+
 fn random_lit(rng: &mut SplitMix64, num_vars: usize) -> Lit {
     let v = rng.gen_u64_below(num_vars as u64) as usize;
     Lit::new(Var::from_index(v), rng.gen_bool())

@@ -29,4 +29,12 @@ echo "==> bench smoke: solver_stats --smoke (verdict agreement, k=1 subset)"
 # mismatch; writes no JSON.
 cargo run --release -q -p bench --bin solver_stats -- --smoke
 
+echo "==> bench smoke: trace_report --smoke (telemetry trace, k=1 query)"
+# Fast gate for the obs telemetry layer: one traced k=1 query through the
+# real JSONL sink — every emitted line must parse, the root span's verdict
+# attribute must match the engine's verdict, and the per-phase durations
+# must sum to within tolerance of the query wall time. Exits non-zero on
+# any failure; writes no tracked JSON.
+cargo run --release -q -p bench --bin trace_report -- --smoke
+
 echo "verify.sh: all checks passed"
