@@ -308,6 +308,78 @@ mod tests {
     }
 
     #[test]
+    fn escape_round_trips_control_and_unicode_characters() {
+        // Control characters must come out as escapes the validator accepts
+        // again — a raw control byte inside a string is invalid JSON.
+        let hostile = "tab\there\nnewline\r\x08\x0c\x00\x1f and \"quotes\" \\ end";
+        let escaped = escape(hostile);
+        assert!(
+            !escaped.bytes().any(|b| b < 0x20),
+            "raw control byte leaked"
+        );
+        validate(&format!("\"{escaped}\"")).expect("escaped string parses");
+        // Non-ASCII passes through unescaped (JSON strings are UTF-8).
+        let unicode = "μarch ∀k≤5 → P-alert 🔒";
+        validate(&format!("\"{}\"", escape(unicode))).expect("unicode parses");
+        assert_eq!(escape(unicode), unicode);
+    }
+
+    #[test]
+    fn builder_escapes_hostile_keys_and_values() {
+        let obj = JsonObject::new()
+            .field_str("new\nline", "value with \"quotes\"")
+            .field_str("", "")
+            .finish();
+        validate(&obj).expect("hostile keys/values parse");
+        assert_eq!(
+            obj,
+            "{\"new\\nline\": \"value with \\\"quotes\\\"\", \"\": \"\"}"
+        );
+    }
+
+    #[test]
+    fn builder_handles_empty_and_deeply_nested_raw_fields() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        validate(&JsonObject::new().finish()).expect("empty object parses");
+        let inner = JsonObject::new().field_u64("depth", 3).finish();
+        let middle = JsonObject::new()
+            .field_raw("inner", &inner)
+            .field_raw("list", "[{}, [], [[1, 2], {\"a\": []}]]")
+            .finish();
+        let outer = JsonObject::new().field_raw("middle", &middle).finish();
+        validate(&outer).expect("nested builder output parses");
+        assert!(outer.contains("\"depth\": 3"));
+    }
+
+    #[test]
+    fn large_u64_values_survive_formatting_and_validation() {
+        // u64::MAX exceeds an f64's integer range; the formatter must print
+        // full precision and the validator must accept all 20 digits.
+        let obj = JsonObject::new()
+            .field_u64("max", u64::MAX)
+            .field_usize("big", usize::MAX)
+            .finish();
+        validate(&obj).expect("large integers parse");
+        assert!(obj.contains("\"max\": 18446744073709551615"));
+    }
+
+    #[test]
+    fn validator_rejects_structural_edge_cases() {
+        for bad in [
+            "{\"a\" 1}",              // missing colon
+            "{1: 2}",                 // non-string key
+            "[,]",                    // empty slot
+            "\"raw \u{0} control\"",  // unescaped control character
+            "\"bad \\u12zz escape\"", // malformed \u escape
+            "1.",                     // digitless fraction
+            "- 1",                    // spaced minus
+            "{\"a\": {\"b\": [1, }}", // mismatched close
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
     fn validator_accepts_real_trace_lines() {
         let span = obs::SpanRecord {
             id: 3,

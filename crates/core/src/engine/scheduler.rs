@@ -1,9 +1,9 @@
 //! The parallel scenario/bound scheduler built on incremental sessions.
 
 use crate::engine::IncrementalSession;
-use crate::scenarios::{Expectation, ScenarioSpec};
-use crate::{Alert, AlertKind, UpecOutcome};
-use std::collections::VecDeque;
+use crate::scenarios::{Expectation, ScenarioInstance, ScenarioSpec};
+use crate::{Alert, AlertKind, UpecModel, UpecOutcome};
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -336,13 +336,40 @@ impl UpecEngine {
         stride: usize,
         cancel: &Arc<AtomicBool>,
     ) -> StripeOutcome {
-        let mut scenario_span = obs::span("upec.scenario");
-        scenario_span.attr_str("id", spec.id);
-        scenario_span.attr_u64("stripe", stripe as u64);
         let model = spec.build_model();
-        let mut session = IncrementalSession::new(&model, self.options.conflict_limit);
-        session.set_interrupt(Some(cancel.clone()));
         let commitment = spec.commitment_set(&model);
+        self.scan_bounds(
+            spec.id,
+            &model,
+            &commitment,
+            spec.start_window,
+            spec.max_window,
+            stripe,
+            stride,
+            cancel,
+        )
+    }
+
+    /// The shared per-bound scan loop: walks one stripe of a window range on
+    /// a fresh incremental session. Both the spec path ([`UpecEngine::run`])
+    /// and the instance path ([`UpecEngine::run_instances`]) end up here.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_bounds(
+        &self,
+        id: &str,
+        model: &UpecModel,
+        commitment: &BTreeSet<String>,
+        start_window: usize,
+        max_window: usize,
+        stripe: usize,
+        stride: usize,
+        cancel: &Arc<AtomicBool>,
+    ) -> StripeOutcome {
+        let mut scenario_span = obs::span("upec.scenario");
+        scenario_span.attr_str("id", id);
+        scenario_span.attr_u64("stripe", stripe as u64);
+        let mut session = IncrementalSession::new(model, self.options.conflict_limit);
+        session.set_interrupt(Some(cancel.clone()));
         // Honor the cap strictly: a cap below the scenario's start window
         // yields an empty scan (reported as Inconclusive) rather than
         // silently running the scenario's cheapest — possibly still
@@ -350,10 +377,10 @@ impl UpecEngine {
         let max = self
             .options
             .max_window
-            .map_or(spec.max_window, |m| m.min(spec.max_window));
+            .map_or(max_window, |m| m.min(max_window));
         let mut bounds = Vec::new();
         let mut first_alert: Option<Alert> = None;
-        for k in (spec.start_window..=max).filter(|k| (k - spec.start_window) % stride == stripe) {
+        for k in (start_window..=max).filter(|k| (k - start_window) % stride == stripe) {
             if cancel.load(Ordering::Relaxed) {
                 bounds.push(BoundSummary {
                     bound: k,
@@ -365,7 +392,7 @@ impl UpecEngine {
                 });
                 continue;
             }
-            let (status, stats) = match session.check_bound(k, &commitment) {
+            let (status, stats) = match session.check_bound(k, commitment) {
                 UpecOutcome::Proven(s) => (BoundStatus::Proven, s),
                 UpecOutcome::Unknown(s) => {
                     let status = if cancel.load(Ordering::Relaxed) {
@@ -414,6 +441,24 @@ impl UpecEngine {
     }
 }
 
+/// The aggregate verdict implied by a set of per-bound outcomes.
+fn verdict_from_bounds(bounds: &[BoundSummary]) -> ScanVerdict {
+    let has = |status: BoundStatus| bounds.iter().any(|b| b.status == status);
+    if bounds.is_empty() {
+        // Nothing was checked (e.g. the engine's window cap lies below the
+        // scenario's start window) — never report an unchecked design secure.
+        ScanVerdict::Inconclusive
+    } else if has(BoundStatus::LAlert) {
+        ScanVerdict::Insecure
+    } else if has(BoundStatus::Unknown) || has(BoundStatus::Cancelled) {
+        ScanVerdict::Inconclusive
+    } else if has(BoundStatus::PAlert) {
+        ScanVerdict::PAlertsOnly
+    } else {
+        ScanVerdict::Secure
+    }
+}
+
 /// Merges a scenario's stripe outcomes into a single result.
 fn aggregate(spec: ScenarioSpec, stripes: Vec<StripeOutcome>) -> ScenarioResult {
     let mut bounds: Vec<BoundSummary> = Vec::new();
@@ -434,20 +479,7 @@ fn aggregate(spec: ScenarioSpec, stripes: Vec<StripeOutcome>) -> ScenarioResult 
         }
     }
     bounds.sort_by_key(|b| b.bound);
-    let has = |status: BoundStatus| bounds.iter().any(|b| b.status == status);
-    let verdict = if bounds.is_empty() {
-        // Nothing was checked (e.g. the engine's window cap lies below the
-        // scenario's start window) — never report an unchecked design secure.
-        ScanVerdict::Inconclusive
-    } else if has(BoundStatus::LAlert) {
-        ScanVerdict::Insecure
-    } else if has(BoundStatus::Unknown) || has(BoundStatus::Cancelled) {
-        ScanVerdict::Inconclusive
-    } else if has(BoundStatus::PAlert) {
-        ScanVerdict::PAlertsOnly
-    } else {
-        ScanVerdict::Secure
-    };
+    let verdict = verdict_from_bounds(&bounds);
     ScenarioResult {
         spec,
         verdict,
@@ -455,6 +487,114 @@ fn aggregate(spec: ScenarioSpec, stripes: Vec<StripeOutcome>) -> ScenarioResult 
         bounds,
         conflicts,
         propagations,
+    }
+}
+
+/// Result of scanning one [`ScenarioInstance`].
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// The instance that was scanned.
+    pub instance: ScenarioInstance,
+    /// Aggregate verdict over the instance's window range.
+    pub verdict: ScanVerdict,
+    /// The alert with the smallest window, if any was found.
+    pub first_alert: Option<Alert>,
+    /// Per-bound outcomes, sorted by window length.
+    pub bounds: Vec<BoundSummary>,
+    /// Total SAT conflicts of the scan.
+    pub conflicts: u64,
+    /// Total unit propagations of the scan.
+    pub propagations: u64,
+}
+
+impl InstanceResult {
+    /// Whether the verdict matches the instance's pinned expectation.
+    pub fn matches_expectation(&self) -> bool {
+        matches!(
+            (self.instance.expected, self.verdict),
+            (Expectation::Proven, ScanVerdict::Secure)
+                | (Expectation::PAlertsOnly, ScanVerdict::PAlertsOnly)
+                | (Expectation::LAlert, ScanVerdict::Insecure)
+        )
+    }
+
+    /// Total query wall time across all completed bounds.
+    pub fn query_time(&self) -> Duration {
+        self.bounds.iter().map(|b| b.runtime).sum()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let alert = match &self.first_alert {
+            Some(a) => format!(", first alert ({:?}) at k={}", a.kind, a.window),
+            None => String::new(),
+        };
+        format!(
+            "{:<34} {:?}{alert} [{} bounds, {} conflicts, {:.2?} solve]",
+            self.instance.id(),
+            self.verdict,
+            self.bounds.len(),
+            self.conflicts,
+            self.query_time()
+        )
+    }
+}
+
+impl UpecEngine {
+    /// Scans every [`ScenarioInstance`] on the worker pool (one incremental
+    /// session per instance) and returns the results in submission order.
+    ///
+    /// This is the family-sweep entry point: where [`UpecEngine::run`] walks
+    /// the registry's specs at the default formal geometry,
+    /// `run_instances` takes the parameterized instance registry
+    /// ([`crate::scenarios::instances`]) whose members carry their own
+    /// geometry, window range and expectation.
+    pub fn run_instances<I>(&self, instances: I) -> Vec<InstanceResult>
+    where
+        I: IntoIterator<Item = ScenarioInstance>,
+    {
+        let instances: Vec<ScenarioInstance> = instances.into_iter().collect();
+        let jobs: Mutex<VecDeque<usize>> = Mutex::new((0..instances.len()).collect());
+        let results: Mutex<Vec<Option<InstanceResult>>> =
+            Mutex::new(instances.iter().map(|_| None).collect());
+        let workers = self.options.threads.min(instances.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = jobs.lock().unwrap().pop_front();
+                    let Some(index) = index else { break };
+                    let instance = instances[index];
+                    let model = instance.build_model();
+                    let commitment = instance.commitment_set(&model);
+                    let cancel = Arc::new(AtomicBool::new(false));
+                    let outcome = self.scan_bounds(
+                        &instance.id(),
+                        &model,
+                        &commitment,
+                        instance.start_window,
+                        instance.max_window,
+                        0,
+                        1,
+                        &cancel,
+                    );
+                    let verdict = verdict_from_bounds(&outcome.bounds);
+                    results.lock().unwrap()[index] = Some(InstanceResult {
+                        instance,
+                        verdict,
+                        first_alert: outcome.first_alert,
+                        bounds: outcome.bounds,
+                        conflicts: outcome.conflicts,
+                        propagations: outcome.propagations,
+                    });
+                });
+            }
+        });
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every instance job completes"))
+            .collect()
     }
 }
 

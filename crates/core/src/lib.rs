@@ -64,8 +64,8 @@ pub use check::{
     full_commitment, Alert, AlertKind, UpecChecker, UpecOptions, UpecOutcome, UpecStats,
 };
 pub use engine::{
-    BoundStatus, BoundSummary, EngineOptions, EngineReport, IncrementalSession, ScanVerdict,
-    ScenarioResult, UpecEngine,
+    BoundStatus, BoundSummary, EngineOptions, EngineReport, IncrementalSession, InstanceResult,
+    ScanVerdict, ScenarioResult, UpecEngine,
 };
 pub use methodology::{
     close_alert_set, prove_alert_closure, run_methodology, ClosureOutcome, MethodologyReport,

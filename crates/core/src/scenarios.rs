@@ -53,6 +53,78 @@ pub enum Expectation {
     LAlert,
 }
 
+/// The microarchitectural geometry of one scenario instance: the `SocConfig`
+/// knobs that parameterize a scenario into a *family*.
+///
+/// Every [`ScenarioSpec`] is checked at [`Geometry::formal_default`]; the
+/// instance registry ([`instances`]) additionally sweeps selected scenarios
+/// across larger caches and longer memory latencies, because the paper's
+/// central claim — UPEC needs no prior knowledge of the attack — should
+/// survive a resized microarchitecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of architectural registers (power of two in `2..=32`).
+    pub registers: u32,
+    /// Number of direct-mapped cache lines (power of two, `>= 2`).
+    pub cache_lines: u32,
+    /// Cache-miss refill latency in cycles.
+    pub miss_latency: u32,
+    /// Pending-store drain latency in cycles.
+    pub store_latency: u32,
+}
+
+impl Geometry {
+    /// The reduced default geometry every formal proof runs at.
+    pub fn formal_default() -> Self {
+        Self {
+            registers: 4,
+            cache_lines: 2,
+            miss_latency: 1,
+            store_latency: 1,
+        }
+    }
+
+    /// Applies the geometry to a design variant.
+    pub fn apply(&self, variant: SocVariant) -> SocConfig {
+        SocConfig::new(variant)
+            .with_registers(self.registers)
+            .with_cache_lines(self.cache_lines)
+            .with_miss_latency(self.miss_latency)
+            .with_store_latency(self.store_latency)
+    }
+
+    /// Compact label (`r4c2m1s1` style) used in instance identifiers.
+    pub fn label(&self) -> String {
+        format!(
+            "r{}c{}m{}s{}",
+            self.registers, self.cache_lines, self.miss_latency, self.store_latency
+        )
+    }
+
+    /// Whether this is the default formal geometry.
+    pub fn is_default(&self) -> bool {
+        *self == Self::formal_default()
+    }
+
+    /// The default geometry with a resized cache (builder style).
+    pub fn with_cache_lines(mut self, lines: u32) -> Self {
+        self.cache_lines = lines;
+        self
+    }
+
+    /// The geometry with a different miss latency (builder style).
+    pub fn with_miss_latency(mut self, cycles: u32) -> Self {
+        self.miss_latency = cycles;
+        self
+    }
+
+    /// The geometry with a different store latency (builder style).
+    pub fn with_store_latency(mut self, cycles: u32) -> Self {
+        self.store_latency = cycles;
+        self
+    }
+}
+
 /// A named, self-contained attack scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScenarioSpec {
@@ -85,11 +157,7 @@ impl ScenarioSpec {
     /// the from-scratch SAT solver while preserving every microarchitectural
     /// mechanism the paper's evaluation depends on).
     pub fn formal_config(&self) -> SocConfig {
-        SocConfig::new(self.variant)
-            .with_registers(4)
-            .with_cache_lines(2)
-            .with_miss_latency(1)
-            .with_store_latency(1)
+        Geometry::formal_default().apply(self.variant)
     }
 
     /// The full-size geometry used for the simulation-based figures.
@@ -126,6 +194,8 @@ impl ScenarioSpec {
         match self.id {
             "orc" => Some(orc_attack_program(config, 3)),
             "meltdown" | "meltdown-timing" | "cache-footprint" => Some(transient_program(config)),
+            "fuzz-meltdown-footprint" | "fuzz-orc-footprint" => Some(fuzz_footprint_witness()),
+            "fuzz-orc-timing" => Some(fuzz_timing_witness()),
             _ => None,
         }
     }
@@ -167,6 +237,62 @@ pub fn orc_attack_program(config: &SocConfig, guess: u32) -> Program {
         offset: 0,
     });
     p.push_nops(2);
+    p
+}
+
+/// The fuzz-mined, delta-debugging-minimized cache-footprint witness
+/// (`soc::fuzz` pipeline, seed `0xdabd_4c19`, case 36): a transient
+/// dependent load whose refill marks a secret-indexed cache line. The exact
+/// instruction bytes are pinned — a test re-mines and re-minimizes them from
+/// the seed.
+pub fn fuzz_footprint_witness() -> Program {
+    let mut p = Program::new(0);
+    p.push(Instruction::Addi {
+        rd: 2,
+        rs1: 0,
+        imm: 0x200,
+    });
+    p.push(Instruction::Lw {
+        rd: 5,
+        rs1: 2,
+        offset: 0,
+    });
+    p.push(Instruction::Lw {
+        rd: 7,
+        rs1: 5,
+        offset: 0,
+    });
+    p
+}
+
+/// The fuzz-mined, delta-debugging-minimized timing witness (`soc::fuzz`
+/// pipeline, seed `0xdabd_4c19`, case 137): a still-pending store whose cache
+/// line collides with the transient dependent load's line for exactly one
+/// secret value, skewing trap timing. The minimizer even dropped the pointer
+/// prologue — `x1` is zero, so the store lands at address `4`, which maps to
+/// the same line as one of the two oracle secrets.
+pub fn fuzz_timing_witness() -> Program {
+    let mut p = Program::new(0);
+    p.push(Instruction::Addi {
+        rd: 2,
+        rs1: 0,
+        imm: 0x200,
+    });
+    p.push(Instruction::Sw {
+        rs1: 1,
+        rs2: 2,
+        offset: 4,
+    });
+    p.push(Instruction::Lw {
+        rd: 7,
+        rs1: 2,
+        offset: 0,
+    });
+    p.push(Instruction::Lw {
+        rd: 0,
+        rs1: 7,
+        offset: 0,
+    });
     p
 }
 
@@ -292,6 +418,42 @@ pub fn registry() -> Vec<ScenarioSpec> {
             expected: Expectation::LAlert,
             description: "Privileged code can move a locked region's base: the secret leaks directly",
         },
+        ScenarioSpec {
+            id: "fuzz-meltdown-footprint",
+            title: "Fuzz-mined transient refill footprint",
+            paper_ref: "fuzz-mined witness (cf. Fig. 1)",
+            variant: SocVariant::MeltdownStyle,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::CacheState,
+            start_window: 1,
+            max_window: 5,
+            expected: Expectation::PAlertsOnly,
+            description: "Minimized 3-instruction witness from the fuzz miner: a dependent load's refill marks the cache",
+        },
+        ScenarioSpec {
+            id: "fuzz-orc-footprint",
+            title: "Fuzz-mined Orc cache footprint",
+            paper_ref: "fuzz-mined witness (beyond Table II)",
+            variant: SocVariant::Orc,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::CacheState,
+            start_window: 1,
+            max_window: 5,
+            expected: Expectation::PAlertsOnly,
+            description: "The replay-buffer bypass also lets the transient load mark the cache, not just stall",
+        },
+        ScenarioSpec {
+            id: "fuzz-orc-timing",
+            title: "Fuzz-mined Orc stall-timing witness",
+            paper_ref: "fuzz-mined witness (cf. Fig. 2)",
+            variant: SocVariant::Orc,
+            secret: SecretScenario::InCache,
+            commitment: CommitmentKind::Architectural,
+            start_window: 1,
+            max_window: 5,
+            expected: Expectation::LAlert,
+            description: "Minimized 4-instruction witness: a pending store collides with the transient load's line",
+        },
     ]
 }
 
@@ -307,9 +469,141 @@ pub fn by_id(id: &str) -> Option<ScenarioSpec> {
     registry().into_iter().find(|s| s.id == id)
 }
 
-/// Renders the registry as the markdown table embedded in the repository
-/// README. A test asserts the README contains this exact rendering, so the
-/// documentation cannot drift from the registry.
+/// One concrete member of a scenario family: a [`ScenarioSpec`] pinned to a
+/// [`Geometry`], with the window range and expected verdict *for that
+/// geometry* (resizing the cache or stretching a latency moves the window at
+/// which an alert first appears).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioInstance {
+    /// The scenario being instantiated.
+    pub spec: ScenarioSpec,
+    /// The SoC geometry of this instance.
+    pub geometry: Geometry,
+    /// First window length of this instance's scan range.
+    pub start_window: usize,
+    /// Last window length of this instance's scan range.
+    pub max_window: usize,
+    /// Expected verdict over this instance's scan range.
+    pub expected: Expectation,
+}
+
+impl ScenarioInstance {
+    /// The spec at its default formal geometry, windows and expectation.
+    pub fn base(spec: ScenarioSpec) -> Self {
+        Self {
+            spec,
+            geometry: Geometry::formal_default(),
+            start_window: spec.start_window,
+            max_window: spec.max_window,
+            expected: spec.expected,
+        }
+    }
+
+    /// Stable identifier: the spec id, suffixed with the geometry label for
+    /// non-default geometries (`cache-footprint@r4c4m1s1`).
+    pub fn id(&self) -> String {
+        if self.geometry.is_default() {
+            self.spec.id.to_string()
+        } else {
+            format!("{}@{}", self.spec.id, self.geometry.label())
+        }
+    }
+
+    /// The SoC configuration of this instance.
+    pub fn config(&self) -> SocConfig {
+        self.geometry.apply(self.spec.variant)
+    }
+
+    /// Builds the two-instance UPEC miter for this instance's geometry.
+    pub fn build_model(&self) -> UpecModel {
+        UpecModel::new(&self.config(), self.spec.secret)
+    }
+
+    /// The commitment set for this instance's obligation shape.
+    pub fn commitment_set(&self, model: &UpecModel) -> BTreeSet<String> {
+        self.spec.commitment_set(model)
+    }
+}
+
+/// The full instance registry: every scenario at the default formal geometry
+/// plus the geometry families of the cheap-to-check scenarios.
+///
+/// Windows and expectations of the non-default instances are pinned from
+/// measurement (the `--ignored` instance sweep re-verifies all of them):
+/// growing the cache or stretching a latency shifts the window at which an
+/// alert first appears, so each instance carries its own range.
+pub fn instances() -> Vec<ScenarioInstance> {
+    let mut out: Vec<ScenarioInstance> =
+        registry().into_iter().map(ScenarioInstance::base).collect();
+    let d = Geometry::formal_default();
+    let mut family =
+        |id: &str, geometry: Geometry, start: usize, max: usize, expected: Expectation| {
+            let spec = by_id(id).expect("family of a registered scenario");
+            out.push(ScenarioInstance {
+                spec,
+                geometry,
+                start_window: start,
+                max_window: max,
+                expected,
+            });
+        };
+    use Expectation::{LAlert, PAlertsOnly, Proven};
+    // Cache-footprint family (Meltdown-style refill marking the cache).
+    family("cache-footprint", d.with_cache_lines(4), 1, 5, PAlertsOnly);
+    family("cache-footprint", d.with_miss_latency(2), 1, 6, PAlertsOnly);
+    family(
+        "cache-footprint",
+        d.with_store_latency(2),
+        1,
+        5,
+        PAlertsOnly,
+    );
+    // The fuzz-mined footprint witness across the same sweep.
+    family(
+        "fuzz-meltdown-footprint",
+        d.with_cache_lines(4),
+        1,
+        5,
+        PAlertsOnly,
+    );
+    family(
+        "fuzz-meltdown-footprint",
+        d.with_miss_latency(2),
+        1,
+        6,
+        PAlertsOnly,
+    );
+    family(
+        "fuzz-meltdown-footprint",
+        d.with_store_latency(2),
+        1,
+        5,
+        PAlertsOnly,
+    );
+    // Orc stall-timing family.
+    family("orc", d.with_cache_lines(4), 1, 5, LAlert);
+    family("orc", d.with_miss_latency(2), 1, 5, LAlert);
+    family("orc", d.with_store_latency(2), 1, 5, LAlert);
+    // The fuzz-mined timing witness across the same sweep.
+    family("fuzz-orc-timing", d.with_cache_lines(4), 1, 5, LAlert);
+    family("fuzz-orc-timing", d.with_miss_latency(2), 1, 5, LAlert);
+    family("fuzz-orc-timing", d.with_store_latency(2), 1, 5, LAlert);
+    // Secure-control family: the proof must keep closing when the
+    // microarchitecture grows.
+    family("secure-arch-only", d.with_cache_lines(4), 1, 2, Proven);
+    family("secure-arch-only", d.with_miss_latency(2), 1, 2, Proven);
+    out
+}
+
+/// Looks up an instance by its stable identifier (spec id, or
+/// `spec-id@geometry` for family members).
+pub fn instance_by_id(id: &str) -> Option<ScenarioInstance> {
+    instances().into_iter().find(|i| i.id() == id)
+}
+
+/// Renders the instance registry as the markdown table embedded in the
+/// repository README. A test asserts the README contains this exact
+/// rendering, so the documentation cannot drift from the registry.
 pub fn readme_table() -> String {
     let expected = |e: Expectation| match e {
         Expectation::Proven => "proven",
@@ -317,18 +611,28 @@ pub fn readme_table() -> String {
         Expectation::LAlert => "L-alert",
     };
     let mut out = String::from(
-        "| id | paper reference | windows | expected verdict | description |\n\
-         |---|---|---|---|---|\n",
+        "| id | paper reference | geometry | windows | expected verdict | description |\n\
+         |---|---|---|---|---|---|\n",
     );
-    for s in all() {
+    for i in instances() {
+        let description = if i.geometry.is_default() {
+            i.spec.description.to_string()
+        } else {
+            format!("`{}` at the {} geometry", i.spec.id, i.geometry.label())
+        };
         out.push_str(&format!(
-            "| `{}` | {} | {}–{} | {} | {} |\n",
-            s.id,
-            s.paper_ref,
-            s.start_window,
-            s.max_window,
-            expected(s.expected),
-            s.description,
+            "| `{}` | {} | `{}` | {}–{} | {} | {} |\n",
+            i.id(),
+            if i.geometry.is_default() {
+                i.spec.paper_ref
+            } else {
+                "family sweep"
+            },
+            i.geometry.label(),
+            i.start_window,
+            i.max_window,
+            expected(i.expected),
+            description,
         ));
     }
     out

@@ -26,6 +26,7 @@
 mod cache;
 mod config;
 mod core;
+pub mod fuzz;
 mod golden;
 mod harness;
 pub mod isa;

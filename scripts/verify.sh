@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
 # Repository verification: formatting, lints, and the tier-1 build/test gate.
 #
-# Usage: scripts/verify.sh
+# Usage: scripts/verify.sh [--full]
 #
 # Keep this script in sync with the README's "Tests and verification"
 # section. The tier-1 gate is the same command CI (and the PR driver) runs:
 #   cargo build --release && cargo test -q
+#
+# --full additionally runs the release-mode `--ignored` acceptance sweeps
+# (full-registry simplification differential, full instance-registry scan,
+# default-seed fuzz-witness reproduction) — several minutes of SAT solving.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+full=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) full=1 ;;
+    *) echo "unknown argument: $arg (expected --full)" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -36,5 +48,22 @@ echo "==> bench smoke: trace_report --smoke (telemetry trace, k=1 query)"
 # must sum to within tolerance of the query wall time. Exits non-zero on
 # any failure; writes no tracked JSON.
 cargo run --release -q -p bench --bin trace_report -- --smoke
+
+echo "==> bench smoke: fuzz_stats --smoke (bounded deterministic mining run)"
+# Fast gate for the fuzz-mining pipeline: a fixed-seed, wall-clock-capped
+# run (60 programs max) asserting the soundness invariants — zero
+# secure-design divergences, zero RTL/golden co-simulation mismatches, at least
+# one witness, a minimizer round trip on every witness, and byte-identical
+# witnesses on a same-seed rerun. Exits non-zero on any violation; writes
+# no JSON.
+cargo run --release -q -p bench --bin fuzz_stats -- --smoke
+
+if [ "$full" -eq 1 ]; then
+  echo "==> full: simplification differential over the whole registry (--ignored, release)"
+  cargo test --release -q -p upec --test simplify_differential -- --ignored
+
+  echo "==> full: instance-registry sweep + fuzz-witness reproduction (--ignored, release)"
+  cargo test --release -q -p upec --test scenario_instances -- --ignored
+fi
 
 echo "verify.sh: all checks passed"
