@@ -1,0 +1,303 @@
+//! Measures the cost of checkable verdicts: DRAT proof logging, certificate
+//! production (trimming for proofs, witness decoding for alerts) and — the
+//! figure that matters for the serving tier — how much faster *checking* a
+//! certificate is than re-solving the query it certifies.
+//!
+//! Timings per scenario at a common bound:
+//!
+//! * `resolve_seconds` — a plain session answering the query (the cost of
+//!   "just solve it again" verification); run twice, because the repeat run's
+//!   delta is the noise floor that bounds the disabled logging hook's cost;
+//! * `logged_seconds` — the same query with DRAT logging on but no
+//!   certificate packaging (isolates the logging overhead);
+//! * `certify_seconds` — logging on *and* packaging the verdict (proof
+//!   trimming or witness decoding included);
+//! * `check_seconds` — replaying the produced certificate through the
+//!   independent checkers (`sat::drat::check` or the `sim` witness replay).
+//!
+//! Results are printed as a table and written to `BENCH_cert.json`. The
+//! aggregate records the check-vs-resolve speedup and the overhead the
+//! logging run pays over the plain run.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin cert_stats                # registry at k=2
+//! cargo run --release -p bench --bin cert_stats -- orc meltdown
+//! cargo run --release -p bench --bin cert_stats -- --k 3 orc
+//! cargo run --release -p bench --bin cert_stats -- --out /tmp/cert.json
+//! cargo run --release -p bench --bin cert_stats -- --smoke     # CI smoke gate
+//! ```
+//!
+//! `--smoke` is the fast CI gate wired into `scripts/verify.sh`: a
+//! three-scenario subset at k=1 must produce certified verdicts that agree
+//! with the plain path *and* pass their independent checks (exit code 1
+//! otherwise); no JSON is written.
+
+use bench::json::JsonObject;
+use std::time::Instant;
+use upec::engine::IncrementalSession;
+use upec::scenarios::{self, ScenarioSpec};
+use upec::{UpecOptions, VerdictCertificate};
+
+/// Scenario subset exercised by `--smoke`: one witness certificate (the SAT
+/// path with trace decoding and replay) plus two proof certificates over
+/// different commitments (the UNSAT path with trimming) — all cheap at k=1.
+const SMOKE_IDS: [&str; 3] = ["meltdown", "orc", "secure-arch-only"];
+
+/// One scenario's measurements.
+struct Row {
+    id: &'static str,
+    k: usize,
+    verdict: &'static str,
+    kind: &'static str,
+    resolve_seconds: f64,
+    resolve_repeat_seconds: f64,
+    logged_seconds: f64,
+    certify_seconds: f64,
+    check_seconds: f64,
+    log_events: usize,
+    cert_events: usize,
+    cert_bytes: usize,
+}
+
+fn measure(spec: &ScenarioSpec, k: usize) -> Result<Row, String> {
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+
+    // Plain re-solve: what verifying the verdict costs without certificates.
+    // Run twice (fresh sessions) — the repeat quantifies the run-to-run noise
+    // floor that the disabled proof-logging hook's cost sits below.
+    let mut plain = IncrementalSession::with_options(&model, UpecOptions::window(k));
+    let start = Instant::now();
+    let plain_outcome = plain.check_bound(k, &commitment);
+    let resolve_seconds = start.elapsed().as_secs_f64();
+    let mut repeat = IncrementalSession::with_options(&model, UpecOptions::window(k));
+    let start = Instant::now();
+    let repeat_outcome = repeat.check_bound(k, &commitment);
+    let resolve_repeat_seconds = start.elapsed().as_secs_f64();
+
+    // Logging on, no certificate packaging: isolates the proof-logging cost
+    // from trimming/decoding.
+    let options = UpecOptions::window(k).with_certificates();
+    let mut logged = IncrementalSession::with_options(&model, options);
+    let start = Instant::now();
+    let logged_outcome = logged.check_bound(k, &commitment);
+    let logged_seconds = start.elapsed().as_secs_f64();
+
+    // Logging session: solve the same query and package the verdict.
+    let mut session = IncrementalSession::with_options(&model, options);
+    let start = Instant::now();
+    let (outcome, certificate) = session.check_bound_certified(k, &commitment);
+    let certify_seconds = start.elapsed().as_secs_f64();
+
+    for (name, other) in [
+        ("repeat", &repeat_outcome),
+        ("logged", &logged_outcome),
+        ("certified", &outcome),
+    ] {
+        if other.verdict_name() != plain_outcome.verdict_name() {
+            return Err(format!(
+                "{}: verdict drift — plain={} {name}={}",
+                spec.id,
+                plain_outcome.verdict_name(),
+                other.verdict_name()
+            ));
+        }
+    }
+    let certificate = certificate
+        .ok_or_else(|| format!("{}: decided verdict produced no certificate", spec.id))?;
+    let log_events = session
+        .proof_log()
+        .map(sat::ProofLog::num_events)
+        .unwrap_or(0);
+
+    // The serving-tier operation: re-check the certificate independently.
+    let start = Instant::now();
+    let check = certificate.check(&model);
+    let check_seconds = start.elapsed().as_secs_f64();
+    if let Err(e) = check {
+        return Err(format!("{}: certificate rejected: {e}", spec.id));
+    }
+
+    let cert_events = match &certificate {
+        VerdictCertificate::Proof(c) => c.proof.num_events(),
+        VerdictCertificate::Witness(c) => c.trace.num_bindings(),
+    };
+    Ok(Row {
+        id: spec.id,
+        k,
+        verdict: outcome.verdict_name(),
+        kind: certificate.kind_name(),
+        resolve_seconds,
+        resolve_repeat_seconds,
+        logged_seconds,
+        certify_seconds,
+        check_seconds,
+        log_events,
+        cert_events,
+        cert_bytes: certificate.size_bytes(),
+    })
+}
+
+fn json_entry(row: &Row) -> String {
+    let trim_ratio = if row.log_events > 0 {
+        row.cert_events as f64 / row.log_events as f64
+    } else {
+        0.0
+    };
+    let entry = JsonObject::new()
+        .field_str("id", row.id)
+        .field_usize("k", row.k)
+        .field_str("verdict", row.verdict)
+        .field_str("certificate", row.kind)
+        .field_f64("resolve_seconds", row.resolve_seconds, 3)
+        .field_f64("resolve_repeat_seconds", row.resolve_repeat_seconds, 3)
+        .field_f64("logged_seconds", row.logged_seconds, 3)
+        .field_f64("certify_seconds", row.certify_seconds, 3)
+        .field_f64("check_seconds", row.check_seconds, 4)
+        .field_usize("log_events", row.log_events)
+        .field_usize("certificate_events", row.cert_events)
+        .field_usize("certificate_bytes", row.cert_bytes)
+        .field_f64("trim_ratio", trim_ratio, 4)
+        .field_f64(
+            "check_speedup",
+            row.resolve_seconds / row.check_seconds.max(1e-9),
+            1,
+        )
+        .finish();
+    format!("    {entry}")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut ids: Vec<String> = Vec::new();
+    let mut k_override: Option<usize> = None;
+    let mut out_path = "BENCH_cert.json".to_string();
+    let mut smoke = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--k" => {
+                let parsed = args.next().and_then(|v| v.parse().ok());
+                let Some(k) = parsed else {
+                    eprintln!("--k needs a numeric value");
+                    std::process::exit(2);
+                };
+                k_override = Some(k);
+            }
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                };
+                out_path = path;
+            }
+            "--smoke" => smoke = true,
+            id => ids.push(id.to_string()),
+        }
+    }
+    if smoke && ids.is_empty() {
+        ids = SMOKE_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    if ids.is_empty() {
+        ids = scenarios::all().iter().map(|s| s.id.to_string()).collect();
+    }
+    let k = k_override.unwrap_or(if smoke { 1 } else { 2 });
+
+    println!(
+        "{:<18} {:>2}  {:<8} {:<8}  {:>8} {:>8} {:>8} {:>8}  {:>9} {:>9} {:>10}",
+        "scenario",
+        "k",
+        "verdict",
+        "cert",
+        "resolve",
+        "logged",
+        "certify",
+        "check",
+        "log-ev",
+        "cert-ev",
+        "bytes"
+    );
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for id in &ids {
+        let spec = scenarios::by_id(id).unwrap_or_else(|| {
+            eprintln!("unknown scenario `{id}`; known ids:");
+            for s in scenarios::all() {
+                eprintln!("  {}", s.id);
+            }
+            std::process::exit(2);
+        });
+        match measure(&spec, k) {
+            Ok(row) => {
+                println!(
+                    "{:<18} {:>2}  {:<8} {:<8}  {:>7.2}s {:>7.2}s {:>7.2}s {:>7.4}s  {:>9} {:>9} {:>10}",
+                    row.id,
+                    row.k,
+                    row.verdict,
+                    row.kind,
+                    row.resolve_seconds,
+                    row.logged_seconds,
+                    row.certify_seconds,
+                    row.check_seconds,
+                    row.log_events,
+                    row.cert_events,
+                    row.cert_bytes,
+                );
+                rows.push(row);
+            }
+            Err(message) => {
+                eprintln!("FAIL {message}");
+                failed = true;
+            }
+        }
+    }
+
+    let resolve: f64 = rows.iter().map(|r| r.resolve_seconds).sum();
+    let repeat: f64 = rows.iter().map(|r| r.resolve_repeat_seconds).sum();
+    let logged: f64 = rows.iter().map(|r| r.logged_seconds).sum();
+    let certify: f64 = rows.iter().map(|r| r.certify_seconds).sum();
+    let check: f64 = rows.iter().map(|r| r.check_seconds).sum();
+    let speedup = resolve / check.max(1e-9);
+    let percent_over = |value: f64| {
+        if resolve > 0.0 {
+            100.0 * (value - resolve) / resolve
+        } else {
+            0.0
+        }
+    };
+    // The disabled hook's cost is bounded by the run-to-run delta of two
+    // identical logging-off runs; logging on is measured directly.
+    let off_overhead = percent_over(repeat);
+    let on_overhead = percent_over(logged);
+    let certify_overhead = percent_over(certify);
+    println!(
+        "\naggregate: re-solve {resolve:.2}s (repeat {off_overhead:+.1}%), \
+         logged {logged:.2}s ({on_overhead:+.1}%), certify {certify:.2}s \
+         ({certify_overhead:+.1}%), check {check:.3}s \
+         => checking is {speedup:.0}x faster than re-solving"
+    );
+    if smoke {
+        // The smoke gate checks verdict/certificate integrity, not speed:
+        // never overwrite the tracked bench JSON from here.
+        if failed {
+            std::process::exit(1);
+        }
+        println!("smoke: all verdicts certified and re-checked");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"cert_stats\",\n  \"unit\": \"seconds, proof-log events, bytes\",\n  \
+         \"aggregate\": {{\"resolve_seconds\": {resolve:.3}, \"logged_seconds\": {logged:.3}, \
+         \"certify_seconds\": {certify:.3}, \"check_seconds\": {check:.4}, \
+         \"check_speedup\": {speedup:.1}, \"logging_off_delta_percent\": {off_overhead:.1}, \
+         \"logging_on_overhead_percent\": {on_overhead:.1}, \
+         \"certify_overhead_percent\": {certify_overhead:.1}}},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.iter().map(json_entry).collect::<Vec<_>>().join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    if failed {
+        std::process::exit(1);
+    }
+}

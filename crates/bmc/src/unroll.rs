@@ -49,6 +49,12 @@ pub struct UnrollOptions {
     /// entirely. Lowering the value makes simplification more eager; `0`
     /// simplifies before any query that hits a single conflict.
     pub simplify_trial_conflicts: u64,
+    /// When `true`, the underlying solver records a DRAT-style proof log
+    /// from the first clause on (see [`sat::Solver::start_proof_log`]), so
+    /// unsat answers can be packaged as independently checkable
+    /// certificates. Off by default: logging costs memory proportional to
+    /// the search.
+    pub proof_log: bool,
 }
 
 impl Default for UnrollOptions {
@@ -59,6 +65,7 @@ impl Default for UnrollOptions {
             eager_encoding: false,
             no_simplify: false,
             simplify_trial_conflicts: 4000,
+            proof_log: false,
         }
     }
 }
@@ -100,6 +107,13 @@ impl UnrollOptions {
     /// [`UnrollOptions::simplify_trial_conflicts`]).
     pub fn with_simplify_trial(mut self, conflicts: u64) -> Self {
         self.simplify_trial_conflicts = conflicts;
+        self
+    }
+
+    /// Enables DRAT-style proof logging on the underlying solver (see
+    /// [`UnrollOptions::proof_log`]).
+    pub fn with_proof_log(mut self) -> Self {
+        self.proof_log = true;
         self
     }
 }
@@ -338,6 +352,12 @@ impl<'n> Unrolling<'n> {
             frame0_aliases.insert(register.index(), source);
         }
         let mut gates = GateBuilder::new();
+        if options.proof_log {
+            // Logging starts before any frame is encoded, so the axiom set of
+            // the certificate is exactly the frame CNF (plus the builder's
+            // constant-true unit).
+            gates.solver_mut().start_proof_log();
+        }
         if let Some(limit) = options.conflict_limit {
             gates.solver_mut().set_conflict_limit(Some(limit));
         }
@@ -1184,6 +1204,15 @@ impl<'n> Unrolling<'n> {
     /// [`UnrollOptions::no_simplify`] disabled it).
     pub fn simplify_stats(&self) -> sat::SimplifyStats {
         self.gates.solver().simplify_stats()
+    }
+
+    /// The DRAT proof log accumulated so far, when
+    /// [`UnrollOptions::proof_log`] is on. The log covers every clause of the
+    /// unrolled frame CNF (as axioms) plus all derived clauses and deletions;
+    /// snapshot it with `.clone()` to package an unsat certificate for a
+    /// particular query.
+    pub fn proof_log(&self) -> Option<&sat::ProofLog> {
+        self.gates.solver().proof_log()
     }
 
     /// Reads the value of a signal in a frame from a model.

@@ -29,6 +29,10 @@ pub struct UpecOptions {
     /// only queries that exhaust this cap pay for the pipeline (see
     /// [`bmc::UnrollOptions::simplify_trial_conflicts`]).
     pub simplify_trial_conflicts: u64,
+    /// Record a DRAT proof log while solving so verdicts can be packaged as
+    /// independently checkable certificates
+    /// ([`IncrementalSession::check_bound_certified`](crate::engine::IncrementalSession::check_bound_certified)).
+    pub certify: bool,
 }
 
 impl UpecOptions {
@@ -41,6 +45,7 @@ impl UpecOptions {
             eager_encoding: false,
             no_simplify: false,
             simplify_trial_conflicts: bmc::UnrollOptions::default().simplify_trial_conflicts,
+            certify: false,
         }
     }
 
@@ -72,6 +77,13 @@ impl UpecOptions {
     /// simplification (`0` simplifies before any query hitting a conflict).
     pub fn with_simplify_trial(mut self, conflicts: u64) -> Self {
         self.simplify_trial_conflicts = conflicts;
+        self
+    }
+
+    /// Enables DRAT proof logging so verdicts can be certified (see
+    /// [`crate::VerdictCertificate`]).
+    pub fn with_certificates(mut self) -> Self {
+        self.certify = true;
         self
     }
 }

@@ -24,7 +24,7 @@ mod scheduler;
 mod session;
 
 pub use scheduler::{
-    BoundStatus, BoundSummary, EngineOptions, EngineReport, InstanceResult, ScanVerdict,
-    ScenarioResult, UpecEngine,
+    BoundStatus, BoundSummary, CertifiedBound, CertifiedResult, EngineOptions, EngineReport,
+    InstanceResult, ScanVerdict, ScenarioResult, UpecEngine,
 };
 pub use session::IncrementalSession;

@@ -1,8 +1,9 @@
 //! The parallel scenario/bound scheduler built on incremental sessions.
 
+use crate::certify::{CertificateCheck, CertificateError, VerdictCertificate};
 use crate::engine::IncrementalSession;
 use crate::scenarios::{Expectation, ScenarioInstance, ScenarioSpec};
-use crate::{Alert, AlertKind, UpecModel, UpecOutcome};
+use crate::{Alert, AlertKind, UpecModel, UpecOptions, UpecOutcome};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -540,6 +541,64 @@ impl InstanceResult {
     }
 }
 
+/// Per-bound record of a certified scan: the usual bound summary plus the
+/// verdict's proof artifact (absent only for [`BoundStatus::Unknown`]
+/// bounds, which carry no verdict to certify).
+#[derive(Debug, Clone)]
+pub struct CertifiedBound {
+    /// The bound's outcome and effort counters.
+    pub summary: BoundSummary,
+    /// The bound's checkable certificate.
+    pub certificate: Option<VerdictCertificate>,
+}
+
+/// Result of a certified scan of one [`ScenarioInstance`]: the aggregate
+/// verdict plus one [`VerdictCertificate`] per decided bound.
+#[derive(Debug, Clone)]
+pub struct CertifiedResult {
+    /// The instance that was scanned.
+    pub instance: ScenarioInstance,
+    /// Aggregate verdict over the scanned range.
+    pub verdict: ScanVerdict,
+    /// Per-bound outcomes with their certificates, sorted by window length.
+    pub bounds: Vec<CertifiedBound>,
+}
+
+impl CertifiedResult {
+    /// Whether the verdict matches the instance's pinned expectation.
+    pub fn matches_expectation(&self) -> bool {
+        matches!(
+            (self.instance.expected, self.verdict),
+            (Expectation::Proven, ScanVerdict::Secure)
+                | (Expectation::PAlertsOnly, ScanVerdict::PAlertsOnly)
+                | (Expectation::LAlert, ScanVerdict::Insecure)
+        )
+    }
+
+    /// Number of bounds that carry a certificate.
+    pub fn certified_bounds(&self) -> usize {
+        self.bounds
+            .iter()
+            .filter(|b| b.certificate.is_some())
+            .count()
+    }
+
+    /// Re-checks every certificate against `model` (which must be built from
+    /// the same instance) and returns the per-bound check reports in scan
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CertificateError`] encountered.
+    pub fn check_all(&self, model: &UpecModel) -> Result<Vec<CertificateCheck>, CertificateError> {
+        self.bounds
+            .iter()
+            .filter_map(|b| b.certificate.as_ref())
+            .map(|c| c.check(model))
+            .collect()
+    }
+}
+
 impl UpecEngine {
     /// Scans every [`ScenarioInstance`] on the worker pool (one incremental
     /// session per instance) and returns the results in submission order.
@@ -595,6 +654,67 @@ impl UpecEngine {
             .into_iter()
             .map(|r| r.expect("every instance job completes"))
             .collect()
+    }
+
+    /// Scans one instance with certificate production on: every decided
+    /// bound's verdict is packaged as a [`VerdictCertificate`] (DRAT
+    /// refutation for proven bounds, replayable witness for violated ones).
+    ///
+    /// Certificates are *produced*, not yet checked — call
+    /// [`CertifiedResult::check_all`] (or each certificate's
+    /// [`VerdictCertificate::check`]) to re-validate the verdicts
+    /// independently of the solver. The scan is serial: certification is a
+    /// per-verdict audit trail, not a throughput path, and a single
+    /// incremental session keeps the proof log contiguous.
+    ///
+    /// The engine's window cap and conflict budget are honored exactly like
+    /// [`UpecEngine::run_instances`].
+    pub fn check_certified(&self, instance: &ScenarioInstance) -> CertifiedResult {
+        let model = instance.build_model();
+        let commitment = instance.commitment_set(&model);
+        let options = UpecOptions::window(0)
+            .with_conflict_limit(self.options.conflict_limit)
+            .with_certificates();
+        let mut session = IncrementalSession::with_options(&model, options);
+        let max = self
+            .options
+            .max_window
+            .map_or(instance.max_window, |m| m.min(instance.max_window));
+        let mut bounds = Vec::new();
+        for k in instance.start_window..=max {
+            let (outcome, certificate) = session.check_bound_certified(k, &commitment);
+            let (status, stats) = match &outcome {
+                UpecOutcome::Proven(s) => (BoundStatus::Proven, *s),
+                UpecOutcome::Unknown(s) => (BoundStatus::Unknown, *s),
+                UpecOutcome::Violated(alert, s) => (
+                    match alert.kind {
+                        AlertKind::PAlert => BoundStatus::PAlert,
+                        AlertKind::LAlert => BoundStatus::LAlert,
+                    },
+                    *s,
+                ),
+            };
+            bounds.push(CertifiedBound {
+                summary: BoundSummary {
+                    bound: k,
+                    status,
+                    conflicts: stats.conflicts,
+                    runtime: stats.runtime,
+                    variables: stats.variables,
+                    clauses: stats.clauses,
+                },
+                certificate,
+            });
+            if status == BoundStatus::LAlert {
+                break;
+            }
+        }
+        let summaries: Vec<BoundSummary> = bounds.iter().map(|b| b.summary).collect();
+        CertifiedResult {
+            instance: *instance,
+            verdict: verdict_from_bounds(&summaries),
+            bounds,
+        }
     }
 }
 

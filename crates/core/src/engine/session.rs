@@ -1,10 +1,12 @@
 //! A persistent, incremental UPEC solving session.
 
+use crate::certify::{UnsatCertificate, VerdictCertificate, WitnessCertificate};
 use crate::check::frame0_aliases;
 use crate::{
     Alert, AlertKind, RegisterPair, StateClass, UpecModel, UpecOptions, UpecOutcome, UpecStats,
 };
-use bmc::{UnrollOptions, Unrolling};
+use bmc::{UnrollError, UnrollOptions, Unrolling};
+use rtl::BitVec;
 use sat::SatResult;
 use std::collections::BTreeSet;
 use std::sync::atomic::AtomicBool;
@@ -75,6 +77,7 @@ impl<'m> IncrementalSession<'m> {
             eager_encoding: options.eager_encoding,
             no_simplify: options.no_simplify,
             simplify_trial_conflicts: options.simplify_trial_conflicts,
+            proof_log: options.certify,
         };
         let aliases = frame0_aliases(model, options.from_reset_state);
         let mut unrolling = if options.eager_encoding {
@@ -138,6 +141,15 @@ impl<'m> IncrementalSession<'m> {
         self.unrolling.simplify_stats()
     }
 
+    /// The session's accumulated DRAT proof log, when the session was opened
+    /// with [`UpecOptions::with_certificates`]. The log spans the whole
+    /// session (all frames, all queries); per-query certificates are the
+    /// trimmed views returned by
+    /// [`IncrementalSession::check_bound_certified`].
+    pub fn proof_log(&self) -> Option<&sat::ProofLog> {
+        self.unrolling.proof_log()
+    }
+
     /// Checks the UPEC property at bound `k` with the obligation restricted
     /// to `commitment`, reusing all solver state from earlier queries.
     ///
@@ -148,6 +160,44 @@ impl<'m> IncrementalSession<'m> {
     ///
     /// Panics if the commitment is empty or names an unknown register.
     pub fn check_bound(&mut self, k: usize, commitment: &BTreeSet<String>) -> UpecOutcome {
+        self.check_bound_inner(k, commitment, false).0
+    }
+
+    /// Like [`IncrementalSession::check_bound`], but also packages the
+    /// verdict as an independently checkable [`VerdictCertificate`]:
+    ///
+    /// * [`UpecOutcome::Proven`] ⇒ the session's DRAT proof log, trimmed to
+    ///   the lemmas this query's refutation actually uses, keyed by the
+    ///   query's activation-literal assumption;
+    /// * [`UpecOutcome::Violated`] ⇒ the SAT witness decoded into a concrete
+    ///   per-cycle [`sim::WitnessTrace`] plus the divergences it must
+    ///   reproduce;
+    /// * [`UpecOutcome::Unknown`] ⇒ no certificate (there is no verdict to
+    ///   certify).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`IncrementalSession::check_bound`], and additionally if
+    /// the session was not opened with [`UpecOptions::with_certificates`]
+    /// (proven bounds need the proof log recording from the first clause on).
+    pub fn check_bound_certified(
+        &mut self,
+        k: usize,
+        commitment: &BTreeSet<String>,
+    ) -> (UpecOutcome, Option<VerdictCertificate>) {
+        assert!(
+            self.unrolling.proof_log().is_some(),
+            "certified queries need a session opened with UpecOptions::with_certificates()"
+        );
+        self.check_bound_inner(k, commitment, true)
+    }
+
+    fn check_bound_inner(
+        &mut self,
+        k: usize,
+        commitment: &BTreeSet<String>,
+        certify: bool,
+    ) -> (UpecOutcome, Option<VerdictCertificate>) {
         let start = Instant::now();
         let mut query_span = obs::span("upec.check_bound");
         query_span.attr_u64("window", k as u64);
@@ -209,8 +259,28 @@ impl<'m> IncrementalSession<'m> {
             window: k,
         };
 
+        let mut certificate: Option<VerdictCertificate> = None;
         let outcome = match result {
-            SatResult::Unsat => UpecOutcome::Proven(stats),
+            SatResult::Unsat => {
+                if certify {
+                    // Snapshot and trim *before* the activation literal is
+                    // retired: the retirement unit `!activation` would join
+                    // the axiom set and trivialize the refutation of a query
+                    // that assumes `activation`.
+                    let log = self
+                        .unrolling
+                        .proof_log()
+                        .expect("checked in check_bound_certified");
+                    let (proof, _) = sat::drat::trim(log, &[activation])
+                        .expect("an unsat verdict must replay through the DRAT checker");
+                    certificate = Some(VerdictCertificate::Proof(UnsatCertificate {
+                        window: k,
+                        proof,
+                        assumptions: vec![activation],
+                    }));
+                }
+                UpecOutcome::Proven(stats)
+            }
             SatResult::Unknown => UpecOutcome::Unknown(stats),
             SatResult::Sat(sat_model) => {
                 let mut arch = Vec::new();
@@ -239,6 +309,13 @@ impl<'m> IncrementalSession<'m> {
                 } else {
                     AlertKind::LAlert
                 };
+                if certify {
+                    certificate = Some(VerdictCertificate::Witness(WitnessCertificate {
+                        window: k,
+                        trace: self.decode_witness(&sat_model, k),
+                        expected_divergences: values.clone(),
+                    }));
+                }
                 UpecOutcome::Violated(
                     Alert {
                         kind,
@@ -257,7 +334,57 @@ impl<'m> IncrementalSession<'m> {
         query_span.attr_u64("propagations", delta.propagations);
         query_span.attr_u64("restarts", delta.restarts);
         query_span.attr_u64("arena_collections", delta.arena_collections);
-        outcome
+        (outcome, certificate)
+    }
+
+    /// Decodes a SAT witness into a self-contained, name-based stimulus: the
+    /// frame-0 value of every register plus every primary input's value in
+    /// frames `0..=k`.
+    ///
+    /// Decoding goes through [`sat::Model`], which the solver has already
+    /// extended over variables the CNF simplifier eliminated — the
+    /// frozen-variable contract guarantees the unrolling's own literals are
+    /// never eliminated, and eliminated auxiliary variables get consistent
+    /// extension values. Signals the query never encoded (outside the cone
+    /// of every constraint and obligation) are unconstrained; they default
+    /// to zero, which cannot affect the violated property.
+    fn decode_witness(&self, model: &sat::Model, k: usize) -> sim::WitnessTrace {
+        let netlist = self.model.netlist();
+        let unconstrained = |e: &UnrollError| {
+            matches!(
+                e,
+                UnrollError::NotInSchedule { .. } | UnrollError::NotEncoded { .. }
+            )
+        };
+        let mut initial_registers = Vec::with_capacity(netlist.register_count());
+        for info in netlist.registers() {
+            let value = match self.unrolling.value_in_model(model, 0, info.signal) {
+                Ok(v) => v,
+                Err(ref e) if unconstrained(e) => BitVec::zero(info.width),
+                Err(e) => panic!("register `{}` undecodable at frame 0: {e}", info.name),
+            };
+            initial_registers.push((info.name.clone(), value));
+        }
+        let mut inputs = Vec::with_capacity(k + 1);
+        for frame in 0..=k {
+            let mut bindings = Vec::new();
+            for &signal in netlist.inputs() {
+                let rtl::Node::Input { name, width } = netlist.node(signal) else {
+                    unreachable!("the input list holds input nodes");
+                };
+                let value = match self.unrolling.value_in_model(model, frame, signal) {
+                    Ok(v) => v,
+                    Err(ref e) if unconstrained(e) => BitVec::zero(*width),
+                    Err(e) => panic!("input `{name}` undecodable at frame {frame}: {e}"),
+                };
+                bindings.push((name.clone(), value));
+            }
+            inputs.push(bindings);
+        }
+        sim::WitnessTrace {
+            initial_registers,
+            inputs,
+        }
     }
 }
 

@@ -32,7 +32,12 @@
 //!   pool with solver-level cancellation);
 //! * the [`scenarios`] module — the named registry of every attack scenario
 //!   the reproduction checks, with paper references and expected verdicts,
-//!   shared by the engine, the bench binaries and the examples.
+//!   shared by the engine, the bench binaries and the examples;
+//! * **checkable verdicts** — every query can be packaged as a
+//!   [`VerdictCertificate`]: proven bounds carry a trimmed DRAT refutation
+//!   replayed by the independent checker in [`sat::drat`], violated bounds
+//!   carry a concrete witness trace replayed on the [`sim`] golden model
+//!   (see `docs/certificates.md`).
 //!
 //! # Example
 //!
@@ -53,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+mod certify;
 mod check;
 mod methodology;
 mod model;
@@ -60,12 +66,15 @@ mod model;
 pub mod engine;
 pub mod scenarios;
 
+pub use certify::{
+    CertificateCheck, CertificateError, UnsatCertificate, VerdictCertificate, WitnessCertificate,
+};
 pub use check::{
     full_commitment, Alert, AlertKind, UpecChecker, UpecOptions, UpecOutcome, UpecStats,
 };
 pub use engine::{
-    BoundStatus, BoundSummary, EngineOptions, EngineReport, IncrementalSession, InstanceResult,
-    ScanVerdict, ScenarioResult, UpecEngine,
+    BoundStatus, BoundSummary, CertifiedBound, CertifiedResult, EngineOptions, EngineReport,
+    IncrementalSession, InstanceResult, ScanVerdict, ScenarioResult, UpecEngine,
 };
 pub use methodology::{
     close_alert_set, prove_alert_closure, run_methodology, ClosureOutcome, MethodologyReport,

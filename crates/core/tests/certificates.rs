@@ -1,0 +1,222 @@
+//! Differential certificate suite: every scenario verdict must come with an
+//! independently checkable certificate.
+//!
+//! Proven bounds are certified by a trimmed DRAT refutation replayed through
+//! the reverse-unit-propagation checker in `sat::drat`; violated bounds are
+//! certified by a concrete witness trace replayed on the `sim` golden model.
+//! The fast subset below runs in the default test pass; the full 25-instance
+//! registry sweep is behind `--ignored` (run by `scripts/verify.sh --full`).
+
+use std::collections::BTreeSet;
+
+use soc::{SocConfig, SocVariant};
+use upec::scenarios::{self, Expectation};
+use upec::{
+    BoundStatus, CertificateCheck, CertificateError, CertifiedResult, EngineOptions,
+    IncrementalSession, SecretScenario, UpecEngine, UpecModel, UpecOptions, VerdictCertificate,
+};
+
+/// Certifies one instance end to end and checks every certificate against a
+/// freshly built model. `max_window` caps the scan (`None` runs the pinned
+/// range) — the fast subset caps windows because debug-mode SAT solving and
+/// proof checking of the deepest bounds would dominate the default suite.
+fn certify_and_check(
+    instance: &scenarios::ScenarioInstance,
+    max_window: Option<usize>,
+) -> CertifiedResult {
+    let mut options = EngineOptions::new().with_threads(1);
+    if let Some(cap) = max_window {
+        options = options.with_max_window(cap);
+    }
+    let engine = UpecEngine::new(options);
+    let result = engine.check_certified(instance);
+    assert!(
+        result.matches_expectation(),
+        "{}: verdict {:?} does not match expectation {:?}",
+        instance.id(),
+        result.verdict,
+        instance.expected
+    );
+
+    // Every decided bound carries a certificate of the right kind; only
+    // Unknown/Cancelled bounds (no verdict) may go without.
+    for bound in &result.bounds {
+        match (bound.summary.status, &bound.certificate) {
+            (BoundStatus::Proven, Some(VerdictCertificate::Proof(cert))) => {
+                assert_eq!(cert.window, bound.summary.bound, "{}", instance.id());
+                assert!(
+                    cert.proof.num_axioms() > 0,
+                    "{}: a refutation needs axioms",
+                    instance.id()
+                );
+            }
+            (
+                BoundStatus::PAlert | BoundStatus::LAlert,
+                Some(VerdictCertificate::Witness(cert)),
+            ) => {
+                assert_eq!(cert.window, bound.summary.bound, "{}", instance.id());
+                assert!(
+                    !cert.expected_divergences.is_empty(),
+                    "{}: an alert certificate must record divergences",
+                    instance.id()
+                );
+            }
+            (BoundStatus::Unknown | BoundStatus::Cancelled, None) => {}
+            (status, cert) => panic!(
+                "{}: bound {} has status {status:?} but certificate {:?}",
+                instance.id(),
+                bound.summary.bound,
+                cert.as_ref().map(|c| c.kind_name())
+            ),
+        }
+    }
+
+    // The independent checkers accept every certificate.
+    let model = instance.build_model();
+    let checks = result
+        .check_all(&model)
+        .unwrap_or_else(|e| panic!("{}: certificate rejected: {e}", instance.id()));
+    assert_eq!(checks.len(), result.certified_bounds(), "{}", instance.id());
+    result
+}
+
+#[test]
+fn fast_subset_verdicts_are_certified() {
+    // One proven scenario, one P-alert scan and one L-alert scan cover all
+    // three certificate shapes (a refutation, a witness, and a scan with a
+    // proven bound cut short by an L-alert).
+    for (id, cap) in [("secure-uncached", 1), ("meltdown", 1), ("orc", 2)] {
+        let instance = scenarios::instance_by_id(id).expect("registry id");
+        let result = certify_and_check(&instance, Some(cap));
+        assert!(
+            result.certified_bounds() > 0,
+            "{id}: expected at least one certified bound"
+        );
+    }
+}
+
+#[test]
+fn tampered_witness_certificates_are_rejected() {
+    let instance = scenarios::instance_by_id("meltdown").expect("registry id");
+    let engine = UpecEngine::new(EngineOptions::new().with_threads(1).with_max_window(1));
+    let result = engine.check_certified(&instance);
+    let model = instance.build_model();
+    let witness = result
+        .bounds
+        .iter()
+        .filter_map(|b| b.certificate.as_ref())
+        .find_map(|c| match c {
+            VerdictCertificate::Witness(w) => Some(w.clone()),
+            VerdictCertificate::Proof(_) => None,
+        })
+        .expect("the meltdown scan must produce a witness certificate");
+
+    // Untampered, the witness replays.
+    let ok = VerdictCertificate::Witness(witness.clone()).check(&model);
+    assert!(ok.is_ok(), "pristine witness rejected: {:?}", ok.err());
+
+    // Claiming a different divergence value must be caught by the replay.
+    let mut forged = witness.clone();
+    let (name, v1, _) = forged.expected_divergences[0].clone();
+    forged.expected_divergences[0].2 = v1; // claim "equal values diverge"
+    let err = VerdictCertificate::Witness(forged)
+        .check(&model)
+        .expect_err("a forged divergence must be rejected");
+    match err {
+        CertificateError::DivergenceMismatch { name: n, .. } => assert_eq!(n, name),
+        other => panic!("unexpected rejection: {other}"),
+    }
+
+    // Naming a register pair the model does not have is caught before replay
+    // values are even compared.
+    let mut forged = witness;
+    forged.expected_divergences[0].0 = "no-such-pair".to_string();
+    let err = VerdictCertificate::Witness(forged)
+        .check(&model)
+        .expect_err("an unknown pair must be rejected");
+    assert!(matches!(err, CertificateError::UnknownPair(_)), "{err}");
+}
+
+#[test]
+fn bve_eliminated_variables_decode_into_replayable_witnesses() {
+    // Regression test for witness decoding after CNF simplification: with the
+    // simplify trial budget at zero the simplifier (including bounded
+    // variable elimination) runs before the violated query, so the SAT model
+    // is only complete through the eliminated-variable extension. The decoded
+    // trace must still replay with the recorded divergences.
+    let config = SocConfig::new(SocVariant::Orc)
+        .with_registers(4)
+        .with_cache_lines(2)
+        .with_miss_latency(1)
+        .with_store_latency(1);
+    let model = UpecModel::new(&config, SecretScenario::InCache);
+    let commitment: BTreeSet<String> = upec::full_commitment(&model);
+    let options = UpecOptions::window(0)
+        .with_simplify_trial(0)
+        .with_certificates();
+    let mut session = IncrementalSession::with_options(&model, options);
+
+    let mut witnessed = 0;
+    for k in 1..=3 {
+        let (outcome, certificate) = session.check_bound_certified(k, &commitment);
+        if outcome.alert().is_none() {
+            continue;
+        }
+        let certificate = certificate.expect("violated bounds carry a certificate");
+        assert_eq!(certificate.kind_name(), "witness");
+        match certificate.check(&model) {
+            Ok(CertificateCheck::Witness {
+                cycles,
+                divergences_confirmed,
+            }) => {
+                assert_eq!(cycles, k);
+                assert!(divergences_confirmed > 0);
+            }
+            other => panic!("witness at k={k} did not replay: {other:?}"),
+        }
+        witnessed += 1;
+    }
+    assert!(
+        witnessed > 0,
+        "the Orc miter must alert within three cycles"
+    );
+    assert!(
+        session.simplify_stats().eliminated_vars > 0,
+        "the scenario no longer exercises variable elimination; \
+         stats: {:?}",
+        session.simplify_stats()
+    );
+}
+
+/// Full differential sweep: every instance in the registry, at its pinned
+/// window range, must produce the expected verdict *and* have every decided
+/// bound's certificate accepted by the independent checkers.
+#[test]
+#[ignore = "full 25-instance certified sweep; run via scripts/verify.sh --full"]
+fn full_registry_sweep_is_certified() {
+    let mut certified = 0usize;
+    for instance in scenarios::instances() {
+        let result = certify_and_check(&instance, None);
+        certified += result.certified_bounds();
+        // Expectation-specific shape of the certified scan.
+        match instance.expected {
+            Expectation::Proven => assert!(
+                result
+                    .bounds
+                    .iter()
+                    .all(|b| b.summary.status == BoundStatus::Proven),
+                "{}: proven instances certify every bound as a refutation",
+                instance.id()
+            ),
+            Expectation::PAlertsOnly | Expectation::LAlert => assert!(
+                result
+                    .bounds
+                    .iter()
+                    .any(|b| matches!(b.summary.status, BoundStatus::PAlert | BoundStatus::LAlert)),
+                "{}: alerting instances must certify at least one witness",
+                instance.id()
+            ),
+        }
+    }
+    assert!(certified >= 25, "sweep certified only {certified} bounds");
+}

@@ -1,8 +1,10 @@
 //! End-to-end telemetry of one UPEC query: the span taxonomy documented in
 //! `docs/observability.md` must actually come out of `check_bound`, with
 //! correct nesting, close ordering, verdict attribution and counter
-//! placement. Collected through the in-memory sink; the JSONL wire format
-//! of the same records is golden-tested in the `obs` crate itself.
+//! placement — including the certificate spans (`sat.proof_log` under the
+//! solve, `cert.check` for the independent re-check). Collected through the
+//! in-memory sink; the JSONL wire format of the same records is
+//! golden-tested in the `obs` crate itself.
 //!
 //! All assertions live in a single test because the sink is process-global:
 //! one install, one traced query, many checks.
@@ -36,9 +38,17 @@ fn traced_query_produces_the_documented_span_tree() {
     obs::install(sink.clone());
     let model = spec.build_model();
     let commitment = spec.commitment_set(&model);
-    let mut session = IncrementalSession::with_options(&model, UpecOptions::window(1));
-    let outcome = session.check_bound(1, &commitment);
+    let options = UpecOptions::window(1).with_certificates();
+    let mut session = IncrementalSession::with_options(&model, options);
+    let (outcome, certificate) = session.check_bound_certified(1, &commitment);
+    let certificate = certificate.expect("a decided bound carries a certificate");
+    let check = certificate.check(&model);
     obs::uninstall();
+    assert!(
+        check.is_ok(),
+        "certificate must re-check: {:?}",
+        check.err()
+    );
 
     let spans = sink.spans();
     let counters = sink.counters();
@@ -168,4 +178,36 @@ fn traced_query_produces_the_documented_span_tree() {
     // probing), outside any search span — so the search spans can only
     // account for at most the query total.
     assert!(total("propagations") <= stats.propagations);
+
+    // Proof logging: a marker child of a search span, sized like the log.
+    let proof_log = spans
+        .iter()
+        .find(|s| s.name == "sat.proof_log")
+        .expect("proof_log span recorded for a certified query");
+    let parent = proof_log
+        .parent
+        .and_then(|p| spans.iter().find(|s| s.id == p))
+        .expect("proof_log span has a parent");
+    assert_eq!(parent.name, "sat.search", "proof_log nests under its solve");
+    assert!(u64_attr(proof_log, "events").is_some());
+    assert!(u64_attr(proof_log, "axioms").is_some());
+    assert!(u64_attr(proof_log, "size_bytes").is_some());
+
+    // Certificate checking: an independent root span carrying the
+    // certificate's kind, window and size.
+    let cert = spans
+        .iter()
+        .find(|s| s.name == "cert.check")
+        .expect("cert.check span recorded");
+    assert_eq!(cert.parent, None, "checking is independent of the query");
+    assert_eq!(
+        str_attr(cert, "kind").as_deref(),
+        Some(certificate.kind_name())
+    );
+    assert_eq!(u64_attr(cert, "window"), Some(1));
+    assert_eq!(
+        u64_attr(cert, "size_bytes"),
+        Some(certificate.size_bytes() as u64)
+    );
+    assert_eq!(str_attr(cert, "result").as_deref(), Some("ok"));
 }

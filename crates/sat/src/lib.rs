@@ -25,10 +25,15 @@
 //!   failed-literal probing, subsumption, self-subsuming resolution and
 //!   bounded variable elimination between solve calls, kept sound for
 //!   incremental use by a frozen-variable contract ([`Solver::freeze_var`])
-//!   and automatic model extension over eliminated variables.
+//!   and automatic model extension over eliminated variables,
+//! * **checkable unsat certificates** ([`Solver::start_proof_log`]): every
+//!   clause addition and deletion — search, database reduction and the whole
+//!   simplification pipeline — can be recorded as a DRAT-style
+//!   [`ProofLog`] and replayed by the independent reverse-unit-propagation
+//!   checker in [`drat`].
 //!
-//! The architecture is documented in depth in `docs/solver.md` at the
-//! repository root.
+//! The architecture is documented in depth in `docs/solver.md` (and the
+//! certificate format in `docs/certificates.md`) at the repository root.
 //!
 //! # Example
 //!
@@ -46,11 +51,13 @@
 #![deny(missing_docs)]
 
 mod cnf;
+pub mod drat;
 mod lit;
 mod simplify;
 mod solver;
 
 pub use cnf::{CnfFormula, Model, SatResult};
+pub use drat::ProofLog;
 pub use lit::{LBool, Lit, Var};
 pub use simplify::{SimplifyConfig, SimplifyStats};
 pub use solver::{Solver, SolverStats};

@@ -402,6 +402,9 @@ impl Solver {
                 self.backtrack_to(0);
                 if conflict {
                     self.simp_stats.failed_literals += 1;
+                    // Probe units are derived through a failed decision, not
+                    // root propagation, so the checker needs them as lemmas.
+                    self.log_lemma(&[!probe]);
                     self.enqueue(!probe, Reason::Decision);
                     if self.propagate().is_some() {
                         consistent = false;
@@ -485,6 +488,10 @@ impl Solver {
                     }
                 }
                 if satisfied {
+                    // Falsified-literal strips above are not logged (the
+                    // stripped literals are root-false for the checker too);
+                    // satisfied-clause removals are advisory deletions.
+                    self.log_delete_slice(&c.lits);
                     c.deleted = true;
                     self.simp_stats.removed_clauses += 1;
                     continue;
@@ -570,6 +577,7 @@ impl Solver {
                     }
                     match subsume_check(&clauses[ci as usize].lits, &clauses[di].lits) {
                         SubsumeResult::Subsume => {
+                            self.log_delete_slice(&clauses[di].lits);
                             clauses[di].deleted = true;
                             self.simp_stats.subsumed_clauses += 1;
                         }
@@ -579,8 +587,21 @@ impl Solver {
                                 .iter()
                                 .position(|&l| l == flipped)
                                 .expect("strengthened literal is in the victim");
+                            let old_form: Vec<Lit> = if self.proof.is_some() {
+                                clauses[di].lits.clone()
+                            } else {
+                                Vec::new()
+                            };
                             clauses[di].lits.swap_remove(pos);
                             sigs[di] = signature(&clauses[di].lits);
+                            if self.proof.is_some() {
+                                // The strengthened clause is RUP through the
+                                // subsumer and the (still live) old form; log
+                                // the addition before the deletion.
+                                let new_form = clauses[di].lits.clone();
+                                self.log_lemma(&new_form);
+                                self.log_delete_slice(&old_form);
+                            }
                             self.simp_stats.strengthened_lits += 1;
                             if clauses[di].lits.len() == 1 {
                                 let unit = clauses[di].lits[0];
@@ -675,6 +696,19 @@ impl Solver {
                 continue;
             }
 
+            if self.proof.is_some() {
+                // Every resolvent is RUP through its two (still live) parent
+                // clauses, so resolvent additions must precede the parent
+                // deletions in the log.
+                for r in &resolvents {
+                    self.log_lemma(r);
+                }
+                for &i in pos.iter().chain(&neg) {
+                    let form: Vec<Lit> = clauses[i as usize].lits.clone();
+                    self.log_delete_slice(&form);
+                }
+            }
+
             // Commit: remove the variable's clauses (keeping them for model
             // extension), add the resolvents.
             let mut removed = Vec::with_capacity(pos.len() + neg.len());
@@ -759,6 +793,7 @@ impl Solver {
                 continue;
             }
             if c.learnt && c.lits.iter().any(|l| self.eliminated[l.var().index()]) {
+                self.log_delete_slice(&c.lits);
                 self.simp_stats.dropped_learnts += 1;
                 continue;
             }

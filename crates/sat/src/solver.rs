@@ -19,6 +19,7 @@
 //!   every watcher and reason index, keeping memory (and cache locality)
 //!   bounded across long incremental sessions.
 
+use crate::drat::{ProofLog, ProofStep};
 use crate::simplify::{ExtensionEntry, SimplifyStats};
 use crate::{CnfFormula, LBool, Lit, Model, SatResult, Var};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -320,6 +321,10 @@ pub struct Solver {
     /// extend satisfying assignments back to eliminated variables.
     pub(crate) extension: Vec<ExtensionEntry>,
     pub(crate) simp_stats: SimplifyStats,
+    /// Active proof log (see [`Solver::start_proof_log`]); `None` when proof
+    /// logging is off, so every log site costs one branch on a pointer-sized
+    /// field.
+    pub(crate) proof: Option<Box<ProofLog>>,
 }
 
 impl Default for Solver {
@@ -369,6 +374,104 @@ impl Solver {
             eliminated: Vec::new(),
             extension: Vec::new(),
             simp_stats: SimplifyStats::default(),
+            proof: None,
+        }
+    }
+
+    /// Starts DRAT-style proof logging.
+    ///
+    /// The current clause database — level-0 facts, binary implications and
+    /// arena clauses — is snapshotted as the axiom set; from here on, every
+    /// clause added through [`Solver::add_clause`] is logged as a further
+    /// axiom, and every derived clause (learned clauses, probing units,
+    /// strengthenings, elimination resolvents) and deletion is logged as a
+    /// lemma/deletion event. After an [`SatResult::Unsat`] answer the log can
+    /// be verified independently with [`drat::check`](crate::drat::check).
+    ///
+    /// With logging off (the default) every log site is a single branch on a
+    /// `None` field; the measured overhead of the disabled path is below the
+    /// noise floor of a solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level 0.
+    pub fn start_proof_log(&mut self) {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "proof logging must start at decision level 0"
+        );
+        let mut log = Box::new(ProofLog::new());
+        for &l in &self.trail {
+            log.push(ProofStep::Axiom, &[l]);
+        }
+        // Each binary clause (a ∨ b) lives in two implication lists; the
+        // `a.code() < b.code()` guard emits each stored instance exactly once.
+        for code in 0..self.bin_watches.len() {
+            let a = !Lit::from_code(code);
+            for &b in &self.bin_watches[code] {
+                if a.code() < b.code() {
+                    log.push(ProofStep::Axiom, &[a, b]);
+                }
+            }
+        }
+        for i in 0..self.headers.len() {
+            if !self.headers[i].deleted {
+                let h = self.headers[i];
+                let lits = &self.clause_lits[h.start as usize..(h.start + h.len) as usize];
+                log.push(ProofStep::Axiom, lits);
+            }
+        }
+        self.proof = Some(log);
+    }
+
+    /// The active proof log, if logging is on.
+    pub fn proof_log(&self) -> Option<&ProofLog> {
+        self.proof.as_deref()
+    }
+
+    /// Stops proof logging and returns the accumulated log.
+    pub fn take_proof_log(&mut self) -> Option<ProofLog> {
+        self.proof.take().map(|b| *b)
+    }
+
+    #[inline]
+    pub(crate) fn log_axiom(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push(ProofStep::Axiom, lits);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn log_lemma(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push(ProofStep::Add, lits);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn log_delete_slice(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push(ProofStep::Delete, lits);
+        }
+    }
+
+    /// Logs the deletion of an arena clause (the literals are still in the
+    /// arena when the header is tombstoned).
+    #[inline]
+    pub(crate) fn log_delete_clause(&mut self, clause: u32) {
+        let Solver {
+            headers,
+            clause_lits,
+            proof,
+            ..
+        } = self;
+        if let Some(p) = proof.as_mut() {
+            let h = headers[clause as usize];
+            p.push(
+                ProofStep::Delete,
+                &clause_lits[h.start as usize..(h.start + h.len) as usize],
+            );
         }
     }
 
@@ -542,6 +645,10 @@ impl Solver {
                  with `freeze_var` first"
             );
         }
+        // Log the original clause as an axiom; the checker performs its own
+        // dedup/tautology handling, and level-0-falsified literals are
+        // root-false for the checker too.
+        self.log_axiom(&clause);
         // Tautology check, then order-preserving dedup / falsified-literal
         // simplification at level 0. The original literal order is kept so
         // the watched positions stay spread across the clause set — sorting
@@ -950,6 +1057,7 @@ impl Solver {
             if self.locked_marks[idx] {
                 continue;
             }
+            self.log_delete_clause(idx as u32);
             // The header is tombstoned; its literals stay in the arena as a
             // hole (propagation never visits them again because the watcher
             // entries are dropped lazily) until the compacting collection
@@ -1188,6 +1296,16 @@ impl Solver {
         obs::counter("propagations", delta.propagations);
         obs::counter("restarts", delta.restarts);
         obs::counter("arena_collections", delta.arena_collections);
+        if let Some(p) = &self.proof {
+            // Marker child span carrying the certificate-size attributes of
+            // the proof log accumulated so far.
+            let mut pspan = obs::span("sat.proof_log");
+            pspan.attr_u64("events", p.num_events() as u64);
+            pspan.attr_u64("axioms", p.num_axioms() as u64);
+            pspan.attr_u64("lemmas", p.num_lemmas() as u64);
+            pspan.attr_u64("deletions", p.num_deletions() as u64);
+            pspan.attr_u64("size_bytes", p.size_bytes() as u64);
+        }
         result
     }
 
@@ -1269,6 +1387,7 @@ impl Solver {
                 // themselves are contradictory with the formula.
                 let (learnt, backtrack_level) = self.analyze(confl);
                 self.backtrack_to(backtrack_level);
+                self.log_lemma(&learnt);
                 match learnt.len() {
                     1 => self.enqueue(learnt[0], Reason::Decision),
                     2 => {

@@ -1,6 +1,6 @@
 //! # `sim` — cycle-accurate simulation of `rtl` netlists
 //!
-//! The simulator plays two roles in the UPEC reproduction:
+//! The simulator plays three roles in the UPEC reproduction:
 //!
 //! 1. **Functional validation** of the MiniRV SoC designs (the stand-ins for
 //!    RocketChip): the ISA-level golden model in the `soc` crate is checked
@@ -10,6 +10,10 @@
 //!    The examples and benches run the attacker programs on the simulator
 //!    and measure cycle counts, exactly as an attacker with access to a
 //!    cycle counter would.
+//! 3. **Verdict certification**: bounded-model-checking counterexamples are
+//!    decoded into [`WitnessTrace`]s and replayed here, confirming each
+//!    violation through the word-level semantics with no solver in the loop
+//!    (see `docs/certificates.md` at the repository root).
 //!
 //! The simulator is a straightforward two-value, word-level evaluator: the
 //! netlist's creation order is topological, so one in-order sweep per clock
@@ -38,8 +42,10 @@
 #![warn(missing_docs)]
 
 mod eval;
+mod replay;
 mod simulator;
 mod trace;
 
+pub use replay::WitnessTrace;
 pub use simulator::{SimError, Simulator};
 pub use trace::Trace;

@@ -9,7 +9,8 @@
 #
 # --full additionally runs the release-mode `--ignored` acceptance sweeps
 # (full-registry simplification differential, full instance-registry scan,
-# default-seed fuzz-witness reproduction) — several minutes of SAT solving.
+# default-seed fuzz-witness reproduction, full certified-verdict sweep) —
+# several minutes of SAT solving.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,12 +59,23 @@ echo "==> bench smoke: fuzz_stats --smoke (bounded deterministic mining run)"
 # no JSON.
 cargo run --release -q -p bench --bin fuzz_stats -- --smoke
 
+echo "==> bench smoke: cert_stats --smoke (certified verdicts re-checked, k=1 subset)"
+# Fast gate for checkable verdicts (docs/certificates.md): three k=1
+# queries are solved with DRAT logging on, packaged as certificates
+# (trimmed refutation or replayable witness), and re-checked by the
+# independent checkers. Verdicts must agree with the plain solve path and
+# every certificate must check. Exits non-zero otherwise; writes no JSON.
+cargo run --release -q -p bench --bin cert_stats -- --smoke
+
 if [ "$full" -eq 1 ]; then
   echo "==> full: simplification differential over the whole registry (--ignored, release)"
   cargo test --release -q -p upec --test simplify_differential -- --ignored
 
   echo "==> full: instance-registry sweep + fuzz-witness reproduction (--ignored, release)"
   cargo test --release -q -p upec --test scenario_instances -- --ignored
+
+  echo "==> full: certified registry sweep (--ignored, release)"
+  cargo test --release -q -p upec --test certificates -- --ignored
 fi
 
 echo "verify.sh: all checks passed"
