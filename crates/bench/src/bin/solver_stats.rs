@@ -33,9 +33,12 @@
 //! longer windows simply verify "proven = proven" at k=2).
 //!
 //! `--smoke` is the fast CI gate wired into `scripts/verify.sh`: it runs a
-//! three-scenario subset at k=1, asserts that the default and `no_simplify`
-//! paths agree on every verdict (exit code 1 on mismatch), and writes no
-//! JSON — so solver-performance work can never silently flip a verdict.
+//! three-scenario subset at k=1, asserts that the default, `no_simplify`
+//! and search-baseline (`sat::SearchConfig::baseline()`, the plain
+//! Luby/phase-saving loop without EMA restarts, rephasing, chronological
+//! backtracking or vivification) paths agree on every verdict (exit code 1
+//! on mismatch), and writes no JSON — so solver-performance work can never
+//! silently flip a verdict.
 
 use bench::json::JsonObject;
 use std::time::Instant;
@@ -59,14 +62,21 @@ struct Measurement {
     eliminated_vars: u64,
     subsumed_clauses: u64,
     failed_literals: u64,
+    restarts: u64,
+    rephasings: u64,
+    vivified_clauses: u64,
+    shared_clause_imports: u64,
 }
 
-fn measure(spec: &ScenarioSpec, k: usize, no_simplify: bool) -> Measurement {
+fn measure(spec: &ScenarioSpec, k: usize, no_simplify: bool, baseline_search: bool) -> Measurement {
     let model = spec.build_model();
     let commitment = spec.commitment_set(&model);
     let mut options = UpecOptions::window(k);
     if no_simplify {
         options = options.no_simplify();
+    }
+    if baseline_search {
+        options = options.with_search(sat::SearchConfig::baseline());
     }
     let mut session = IncrementalSession::with_options(&model, options);
     let start = Instant::now();
@@ -85,6 +95,10 @@ fn measure(spec: &ScenarioSpec, k: usize, no_simplify: bool) -> Measurement {
         eliminated_vars: simp.eliminated_vars,
         subsumed_clauses: simp.subsumed_clauses,
         failed_literals: simp.failed_literals,
+        restarts: solver.restarts,
+        rephasings: solver.rephasings,
+        vivified_clauses: solver.vivified_clauses,
+        shared_clause_imports: solver.shared_clause_imports,
     }
 }
 
@@ -105,6 +119,10 @@ fn json_entry(
             .field_u64("eliminated_vars", m.eliminated_vars)
             .field_u64("subsumed_clauses", m.subsumed_clauses)
             .field_u64("failed_literals", m.failed_literals)
+            .field_u64("restarts", m.restarts)
+            .field_u64("rephasings", m.rephasings)
+            .field_u64("vivified_clauses", m.vivified_clauses)
+            .field_u64("shared_clause_imports", m.shared_clause_imports)
             .finish()
     };
     let entry = JsonObject::new()
@@ -172,14 +190,27 @@ fn main() {
             }
             std::process::exit(2);
         });
-        let baseline = measure(&spec, k, true);
-        let simplified = measure(&spec, k, false);
+        let baseline = measure(&spec, k, true, false);
+        let simplified = measure(&spec, k, false, false);
         if baseline.verdict != simplified.verdict {
             verdicts_match = false;
             eprintln!(
                 "VERDICT MISMATCH on {}: baseline={} simplified={}",
                 spec.id, baseline.verdict, simplified.verdict
             );
+        }
+        if smoke {
+            // The search smoke gate: the all-features-on default loop (EMA
+            // restarts, rephasing, chronological backtracking, vivification)
+            // must agree with the plain Luby baseline loop.
+            let plain_search = measure(&spec, k, false, true);
+            if plain_search.verdict != simplified.verdict {
+                verdicts_match = false;
+                eprintln!(
+                    "SEARCH VERDICT MISMATCH on {}: baseline-search={} modern-search={}",
+                    spec.id, plain_search.verdict, simplified.verdict
+                );
+            }
         }
         total_baseline += baseline.solve_seconds;
         total_simplified += simplified.solve_seconds;
@@ -214,7 +245,10 @@ fn main() {
         // The smoke gate is a verdict check, not a measurement: never
         // overwrite the tracked bench JSON from here.
         if verdicts_match {
-            println!("smoke: all verdicts agree between default and no_simplify paths");
+            println!(
+                "smoke: all verdicts agree across the default, no_simplify and \
+                 baseline-search paths"
+            );
         } else {
             std::process::exit(1);
         }
@@ -231,5 +265,70 @@ fn main() {
     println!("wrote {out_path}");
     if !verdicts_match {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Measurement {
+        Measurement {
+            variables: 100,
+            clauses: 400,
+            solve_seconds: 1.25,
+            verdict: "proven",
+            conflicts: 42,
+            propagations_per_second: 1e6,
+            eliminated_vars: 7,
+            subsumed_clauses: 3,
+            failed_literals: 1,
+            restarts: 5,
+            rephasings: 2,
+            vivified_clauses: 9,
+            shared_clause_imports: 11,
+        }
+    }
+
+    /// Schema regression: every `BENCH_solver.json` strategy entry carries
+    /// the search-loop counters (`restarts`, `rephasings`,
+    /// `vivified_clauses`, `shared_clause_imports`) and still parses through
+    /// the bench JSON validator. Downstream trajectory tooling keys on these
+    /// field names; renaming or dropping one must fail here first.
+    #[test]
+    fn entry_schema_carries_search_loop_counters() {
+        let spec = scenarios::by_id("orc").expect("registered scenario");
+        let entry = json_entry(&spec, 2, &sample(), &sample());
+        bench::json::validate(entry.trim()).expect("entry is valid JSON");
+        for field in [
+            "\"variables\": ",
+            "\"conflicts\": ",
+            "\"restarts\": 5",
+            "\"rephasings\": 2",
+            "\"vivified_clauses\": 9",
+            "\"shared_clause_imports\": 11",
+            "\"speedup\": ",
+        ] {
+            assert!(entry.contains(field), "entry lost field {field}: {entry}");
+        }
+    }
+
+    /// The field order of the strategy object is part of the tracked-diff
+    /// contract: new counters append after the simplifier counters.
+    #[test]
+    fn search_counters_append_after_simplifier_counters() {
+        let entry = json_entry(
+            &scenarios::by_id("orc").expect("registered scenario"),
+            2,
+            &sample(),
+            &sample(),
+        );
+        let failed = entry.find("\"failed_literals\"").expect("present");
+        let restarts = entry.find("\"restarts\"").expect("present");
+        let imports = entry.find("\"shared_clause_imports\"").expect("present");
+        assert!(
+            failed < restarts && restarts < imports,
+            "stable field order violated: {entry}"
+        );
     }
 }

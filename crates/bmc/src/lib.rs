@@ -57,4 +57,4 @@ pub use gates::GateBuilder;
 pub use induction::{InductionOutcome, InductionProver};
 pub use ipc::{CexFrame, Counterexample, IpcEngine, IpcOutcome, IpcStats};
 pub use property::{IntervalProperty, PropertyTerm, When};
-pub use unroll::{EncodeStats, UnrollError, UnrollOptions, Unrolling};
+pub use unroll::{EncodeStats, SharedClause, UnrollError, UnrollOptions, Unrolling};

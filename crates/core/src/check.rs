@@ -33,6 +33,11 @@ pub struct UpecOptions {
     /// independently checkable certificates
     /// ([`IncrementalSession::check_bound_certified`](crate::engine::IncrementalSession::check_bound_certified)).
     pub certify: bool,
+    /// Search-loop feature configuration of the SAT solver (EMA restarts,
+    /// rephasing, chronological backtracking, vivification). Defaults to
+    /// all-on; [`sat::SearchConfig::baseline`] restores the plain
+    /// Luby/phase-saving loop for differential testing.
+    pub search: sat::SearchConfig,
 }
 
 impl UpecOptions {
@@ -46,6 +51,7 @@ impl UpecOptions {
             no_simplify: false,
             simplify_trial_conflicts: bmc::UnrollOptions::default().simplify_trial_conflicts,
             certify: false,
+            search: sat::SearchConfig::default(),
         }
     }
 
@@ -84,6 +90,12 @@ impl UpecOptions {
     /// [`crate::VerdictCertificate`]).
     pub fn with_certificates(mut self) -> Self {
         self.certify = true;
+        self
+    }
+
+    /// Sets the solver's search-loop feature configuration (builder style).
+    pub fn with_search(mut self, search: sat::SearchConfig) -> Self {
+        self.search = search;
         self
     }
 }

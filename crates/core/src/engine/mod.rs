@@ -15,6 +15,10 @@
 //!   optionally, stripes of one scenario's bounds) concurrently, cancelling
 //!   work that a racing stripe has already decided through the solver-level
 //!   interrupt hook.
+//! * [`SharedClausePool`] — the cross-session learned-clause exchange of the
+//!   instance sweep: sessions with the same transition fingerprint publish
+//!   and import each other's transition-tainted lemmas in canonical
+//!   position form.
 //! * [`EngineReport`] / [`ScenarioResult`] — aggregation of the per-bound
 //!   outcomes back into the paper's vocabulary (P-alerts, L-alerts, proven
 //!   windows), with per-scenario expectation checking against the
@@ -22,9 +26,11 @@
 
 mod scheduler;
 mod session;
+mod share;
 
 pub use scheduler::{
     BoundStatus, BoundSummary, CertifiedBound, CertifiedResult, EngineOptions, EngineReport,
     InstanceResult, ScanVerdict, ScenarioResult, UpecEngine,
 };
 pub use session::IncrementalSession;
+pub use share::SharedClausePool;

@@ -1,7 +1,7 @@
 //! The parallel scenario/bound scheduler built on incremental sessions.
 
 use crate::certify::{CertificateCheck, CertificateError, VerdictCertificate};
-use crate::engine::IncrementalSession;
+use crate::engine::{IncrementalSession, SharedClausePool};
 use crate::scenarios::{Expectation, ScenarioInstance, ScenarioSpec};
 use crate::{Alert, AlertKind, UpecModel, UpecOptions, UpecOutcome};
 use std::collections::{BTreeSet, VecDeque};
@@ -25,6 +25,12 @@ pub struct EngineOptions {
     /// incremental sessions that race in parallel; the first L-alert cancels
     /// the scenario's remaining work through the solvers' interrupt hook.
     pub stripes: usize,
+    /// Exchange transition-tainted learned clauses between the sweep's
+    /// sessions through a [`SharedClausePool`] (only
+    /// [`UpecEngine::run_instances`] shares; certified scans never do).
+    /// Defaults to on; the differential tests pin that disabling it does not
+    /// change any verdict.
+    pub share_clauses: bool,
 }
 
 impl EngineOptions {
@@ -35,6 +41,7 @@ impl EngineOptions {
             max_window: None,
             conflict_limit: None,
             stripes: 1,
+            share_clauses: true,
         }
     }
 
@@ -60,6 +67,13 @@ impl EngineOptions {
     /// style).
     pub fn with_stripes(mut self, stripes: usize) -> Self {
         self.stripes = stripes.max(1);
+        self
+    }
+
+    /// Enables or disables cross-session learned-clause sharing in
+    /// [`UpecEngine::run_instances`] (builder style).
+    pub fn with_clause_sharing(mut self, share: bool) -> Self {
+        self.share_clauses = share;
         self
     }
 }
@@ -348,12 +362,18 @@ impl UpecEngine {
             stripe,
             stride,
             cancel,
+            None,
         )
     }
 
     /// The shared per-bound scan loop: walks one stripe of a window range on
     /// a fresh incremental session. Both the spec path ([`UpecEngine::run`])
     /// and the instance path ([`UpecEngine::run_instances`]) end up here.
+    ///
+    /// With a `pool`, the loop exchanges transition-tainted learned clauses
+    /// with sibling sessions of the same fingerprint: before each bound it
+    /// imports pool clauses whose frame ceiling the session has already
+    /// encoded, after each bound it publishes its own fresh exportables.
     #[allow(clippy::too_many_arguments)]
     fn scan_bounds(
         &self,
@@ -365,12 +385,21 @@ impl UpecEngine {
         stripe: usize,
         stride: usize,
         cancel: &Arc<AtomicBool>,
+        pool: Option<&SharedClausePool>,
     ) -> StripeOutcome {
         let mut scenario_span = obs::span("upec.scenario");
         scenario_span.attr_str("id", id);
         scenario_span.attr_u64("stripe", stripe as u64);
         let mut session = IncrementalSession::new(model, self.options.conflict_limit);
         session.set_interrupt(Some(cancel.clone()));
+        let fingerprint = session.share_fingerprint();
+        let mut share_cursor = 0usize;
+        // Fetched clauses over frames deeper than the session's current
+        // bound wait here; the importer itself skips anything the session
+        // still cannot express (frame-tag filtering, see
+        // [`IncrementalSession::import_shared`]).
+        let mut share_pending: Vec<bmc::SharedClause> = Vec::new();
+        let mut export_buf: Vec<bmc::SharedClause> = Vec::new();
         // Honor the cap strictly: a cap below the scenario's start window
         // yields an empty scan (reported as Inconclusive) rather than
         // silently running the scenario's cheapest — possibly still
@@ -392,6 +421,20 @@ impl UpecEngine {
                     clauses: 0,
                 });
                 continue;
+            }
+            if let (Some(pool), Some(fp)) = (pool, fingerprint) {
+                let (batch, next) = pool.fetch(fp, share_cursor);
+                share_cursor = next;
+                share_pending.extend(batch);
+                // Only clauses whose deepest frame the session has encoded
+                // (bounds up to k-1 so far) can be expressed right now.
+                let (eligible, rest): (Vec<_>, Vec<_>) = share_pending
+                    .drain(..)
+                    .partition(|c| (c.ceiling as usize) < k);
+                share_pending = rest;
+                if !eligible.is_empty() {
+                    session.import_shared(&eligible);
+                }
             }
             let (status, stats) = match session.check_bound(k, commitment) {
                 UpecOutcome::Proven(s) => (BoundStatus::Proven, s),
@@ -420,6 +463,12 @@ impl UpecEngine {
                     (status, s)
                 }
             };
+            if let (Some(pool), Some(fp)) = (pool, fingerprint) {
+                session.export_shared(&mut export_buf);
+                if !export_buf.is_empty() {
+                    pool.publish(fp, std::mem::take(&mut export_buf));
+                }
+            }
             bounds.push(BoundSummary {
                 bound: k,
                 status,
@@ -608,6 +657,13 @@ impl UpecEngine {
     /// `run_instances` takes the parameterized instance registry
     /// ([`crate::scenarios::instances`]) whose members carry their own
     /// geometry, window range and expectation.
+    ///
+    /// Unless [`EngineOptions::with_clause_sharing`] disabled it, the
+    /// sweep's sessions exchange transition-tainted learned clauses through
+    /// a [`SharedClausePool`]: instances whose miters share a transition
+    /// fingerprint (same geometry and frame-0 aliasing) reuse each other's
+    /// purely-definitional lemmas instead of re-deriving them. Sharing is
+    /// verdict-neutral by construction — the differential tests pin it.
     pub fn run_instances<I>(&self, instances: I) -> Vec<InstanceResult>
     where
         I: IntoIterator<Item = ScenarioInstance>,
@@ -616,6 +672,7 @@ impl UpecEngine {
         let jobs: Mutex<VecDeque<usize>> = Mutex::new((0..instances.len()).collect());
         let results: Mutex<Vec<Option<InstanceResult>>> =
             Mutex::new(instances.iter().map(|_| None).collect());
+        let pool = self.options.share_clauses.then(SharedClausePool::new);
         let workers = self.options.threads.min(instances.len()).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -635,6 +692,7 @@ impl UpecEngine {
                         0,
                         1,
                         &cancel,
+                        pool.as_ref(),
                     );
                     let verdict = verdict_from_bounds(&outcome.bounds);
                     results.lock().unwrap()[index] = Some(InstanceResult {

@@ -78,6 +78,7 @@ impl<'m> IncrementalSession<'m> {
             no_simplify: options.no_simplify,
             simplify_trial_conflicts: options.simplify_trial_conflicts,
             proof_log: options.certify,
+            search: options.search,
         };
         let aliases = frame0_aliases(model, options.from_reset_state);
         let mut unrolling = if options.eager_encoding {
@@ -148,6 +149,32 @@ impl<'m> IncrementalSession<'m> {
     /// [`IncrementalSession::check_bound_certified`].
     pub fn proof_log(&self) -> Option<&sat::ProofLog> {
         self.unrolling.proof_log()
+    }
+
+    /// Stable fingerprint of the session's transition relation and frame-0
+    /// assumption structure — the key under which this session may exchange
+    /// learned clauses with sibling sessions (see
+    /// [`bmc::Unrolling::share_fingerprint`]). `None` when the session's
+    /// encoding cannot share (eager mode).
+    pub fn share_fingerprint(&self) -> Option<u64> {
+        self.unrolling.share_fingerprint()
+    }
+
+    /// Drains this session's exportable learned clauses — those whose
+    /// derivations used only transition-definitional clauses — into `sink`
+    /// in canonical position form (see [`bmc::Unrolling::export_shared`]).
+    pub fn export_shared(&mut self, sink: &mut Vec<bmc::SharedClause>) {
+        self.unrolling.export_shared(sink);
+    }
+
+    /// Imports canonical shared clauses published by sibling sessions with
+    /// the same [`IncrementalSession::share_fingerprint`]. Clauses over
+    /// frames or slots this session has not encoded are skipped, as is the
+    /// whole import when the session records a DRAT proof log (certified
+    /// verdicts never depend on foreign lemmas). Returns the number of
+    /// clauses actually imported.
+    pub fn import_shared(&mut self, clauses: &[bmc::SharedClause]) -> usize {
+        self.unrolling.import_shared(clauses)
     }
 
     /// Checks the UPEC property at bound `k` with the obligation restricted

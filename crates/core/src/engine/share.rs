@@ -1,0 +1,172 @@
+//! Cross-session learned-clause sharing for the instance sweep.
+//!
+//! Sessions scanning different [`crate::scenarios::ScenarioInstance`]s of the
+//! *same* miter geometry solve near-identical CNFs: the transition relation
+//! is identical frame for frame, only the scenario constraints and
+//! commitments differ. Learned clauses whose derivations used nothing but
+//! transition-definitional clauses (tracked by the solver's share-ceiling
+//! taint, [`sat::Solver::drain_exportable`]) are therefore valid in every
+//! sibling session — *up to the frame depth both sessions have encoded*.
+//!
+//! [`SharedClausePool`] is the exchange point [`crate::UpecEngine::run_instances`]
+//! threads through its worker pool:
+//!
+//! * clauses live in canonical `(frame, slot, bit)` position form
+//!   ([`bmc::SharedClause`]), so two sessions need not agree on CNF variable
+//!   numbering — only on the transition fingerprint
+//!   ([`bmc::Unrolling::share_fingerprint`]) that keys each shard;
+//! * [`SharedClausePool::publish`] deduplicates syntactically so a clause
+//!   exported by several sessions is stored (and re-imported) once;
+//! * [`SharedClausePool::fetch`] hands each session only the clauses it has
+//!   not seen yet, via a caller-held cursor.
+//!
+//! Frame-tag filtering and the freeze contract are enforced downstream:
+//! [`bmc::Unrolling::import_shared`] refuses positions the importer has not
+//! encoded, and [`sat::Solver::import_shared`] rejects clauses over
+//! eliminated variables and refuses imports entirely while a DRAT proof log
+//! is recording (so certified verdicts never depend on foreign lemmas).
+
+use bmc::SharedClause;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// One fingerprint's worth of shared clauses, in publication order.
+#[derive(Default)]
+struct Shard {
+    clauses: Vec<SharedClause>,
+    /// Dedup index: sorted canonical literal codes of every stored clause.
+    seen: HashSet<Vec<u64>>,
+}
+
+/// A concurrent, fingerprint-keyed pool of exportable learned clauses.
+///
+/// The pool is shared by reference between the engine's worker threads; all
+/// operations lock one internal mutex, which is negligible next to the SAT
+/// queries between accesses.
+///
+/// # Examples
+///
+/// ```
+/// use upec::SharedClausePool;
+/// use bmc::SharedClause;
+///
+/// let pool = SharedClausePool::new();
+/// let clause = SharedClause { lits: vec![2, 5], ceiling: 0 };
+/// assert_eq!(pool.publish(42, vec![clause.clone()]), 1);
+/// // Publishing the same clause again is a no-op.
+/// assert_eq!(pool.publish(42, vec![clause.clone()]), 0);
+///
+/// // A fresh session drains everything once, then sees nothing new.
+/// let (batch, cursor) = pool.fetch(42, 0);
+/// assert_eq!(batch, vec![clause]);
+/// assert!(pool.fetch(42, cursor).0.is_empty());
+/// // Other fingerprints are isolated shards.
+/// assert!(pool.fetch(7, 0).0.is_empty());
+/// ```
+#[derive(Default)]
+pub struct SharedClausePool {
+    shards: Mutex<HashMap<u64, Shard>>,
+}
+
+impl SharedClausePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `clauses` to the `fingerprint` shard, dropping syntactic
+    /// duplicates of already-stored clauses. Returns how many were actually
+    /// added.
+    pub fn publish(&self, fingerprint: u64, clauses: Vec<SharedClause>) -> usize {
+        if clauses.is_empty() {
+            return 0;
+        }
+        let mut shards = self.shards.lock().unwrap();
+        let shard = shards.entry(fingerprint).or_default();
+        let mut added = 0;
+        for clause in clauses {
+            let mut key = clause.lits.clone();
+            key.sort_unstable();
+            if shard.seen.insert(key) {
+                shard.clauses.push(clause);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Returns every clause published to the `fingerprint` shard since
+    /// `cursor`, plus the new cursor. Callers keep their own cursor per
+    /// session, so each session imports each clause at most once (including
+    /// the ones it published itself — the solver's `exported` flag makes the
+    /// round trip a cheap no-op).
+    pub fn fetch(&self, fingerprint: u64, cursor: usize) -> (Vec<SharedClause>, usize) {
+        let shards = self.shards.lock().unwrap();
+        let Some(shard) = shards.get(&fingerprint) else {
+            return (Vec::new(), cursor);
+        };
+        let end = shard.clauses.len();
+        if cursor >= end {
+            return (Vec::new(), end);
+        }
+        (shard.clauses[cursor..].to_vec(), end)
+    }
+
+    /// Total clauses stored across all fingerprint shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .lock()
+            .unwrap()
+            .values()
+            .map(|s| s.clauses.len())
+            .sum()
+    }
+
+    /// Whether the pool holds no clauses at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(lits: &[u64], ceiling: u32) -> SharedClause {
+        SharedClause {
+            lits: lits.to_vec(),
+            ceiling,
+        }
+    }
+
+    #[test]
+    fn publish_deduplicates_within_and_across_batches() {
+        let pool = SharedClausePool::new();
+        let added = pool.publish(1, vec![clause(&[2, 4], 0), clause(&[4, 2], 1)]);
+        // Literal order does not matter for identity.
+        assert_eq!(added, 1);
+        assert_eq!(pool.publish(1, vec![clause(&[2, 4], 0)]), 0);
+        assert_eq!(pool.publish(1, vec![clause(&[2, 4, 6], 0)]), 1);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn cursors_resume_where_they_left_off() {
+        let pool = SharedClausePool::new();
+        pool.publish(9, vec![clause(&[1, 3], 0)]);
+        let (first, cursor) = pool.fetch(9, 0);
+        assert_eq!(first.len(), 1);
+        pool.publish(9, vec![clause(&[5, 7], 2)]);
+        let (second, cursor) = pool.fetch(9, cursor);
+        assert_eq!(second, vec![clause(&[5, 7], 2)]);
+        assert_eq!(pool.fetch(9, cursor).0, Vec::new());
+    }
+
+    #[test]
+    fn fingerprints_are_isolated() {
+        let pool = SharedClausePool::new();
+        pool.publish(1, vec![clause(&[1, 3], 0)]);
+        assert!(pool.fetch(2, 0).0.is_empty());
+        assert_eq!(pool.fetch(1, 0).0.len(), 1);
+    }
+}

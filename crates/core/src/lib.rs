@@ -74,7 +74,7 @@ pub use check::{
 };
 pub use engine::{
     BoundStatus, BoundSummary, CertifiedBound, CertifiedResult, EngineOptions, EngineReport,
-    IncrementalSession, InstanceResult, ScanVerdict, ScenarioResult, UpecEngine,
+    IncrementalSession, InstanceResult, ScanVerdict, ScenarioResult, SharedClausePool, UpecEngine,
 };
 pub use methodology::{
     close_alert_set, prove_alert_closure, run_methodology, ClosureOutcome, MethodologyReport,

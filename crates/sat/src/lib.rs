@@ -11,7 +11,11 @@
 //! * two watched literals per clause,
 //! * first-UIP conflict analysis with clause learning,
 //! * VSIDS variable activities and phase saving,
-//! * Luby-sequence restarts,
+//! * a modern search loop ([`SearchConfig`]): glucose-style EMA restarts
+//!   layered on the Luby cadence with an LBD-quality gate, target rephasing,
+//!   chronological backtracking for shallow conflicts, clause vivification
+//!   as inprocessing ([`Solver::vivify`]) and cross-solver learned-clause
+//!   sharing ([`Solver::drain_exportable`] / [`Solver::import_shared`]),
 //! * periodic deletion of inactive learned clauses,
 //! * solving under assumptions and an optional conflict budget (used by the
 //!   benchmark harness to reproduce the paper's notion of a *feasible* proof
@@ -60,4 +64,4 @@ pub use cnf::{CnfFormula, Model, SatResult};
 pub use drat::ProofLog;
 pub use lit::{LBool, Lit, Var};
 pub use simplify::{SimplifyConfig, SimplifyStats};
-pub use solver::{Solver, SolverStats};
+pub use solver::{SearchConfig, Solver, SolverStats};

@@ -22,6 +22,7 @@
 use crate::drat::{ProofLog, ProofStep};
 use crate::simplify::{ExtensionEntry, SimplifyStats};
 use crate::{CnfFormula, LBool, Lit, Model, SatResult, Var};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -42,6 +43,18 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Number of restarts performed.
     pub restarts: u64,
+    /// Number of target-rephasing events: restarts at which the saved phase
+    /// vector was reset wholesale (to the best-trail snapshot, its inverse, a
+    /// constant polarity or a deterministic random vector).
+    pub rephasings: u64,
+    /// Number of conflicts resolved by chronological backtracking (one level)
+    /// instead of a far non-chronological backjump.
+    pub chrono_backtracks: u64,
+    /// Number of clauses strengthened (shortened) by vivification.
+    pub vivified_clauses: u64,
+    /// Number of learned clauses imported from a cross-query shared clause
+    /// pool via [`Solver::import_shared`].
+    pub shared_clause_imports: u64,
     /// Number of learned clauses currently in the database (long clauses
     /// only; learned binary clauses move to the implication graph and are
     /// retained permanently).
@@ -78,6 +91,16 @@ impl SolverStats {
             propagations: self.propagations.saturating_sub(earlier.propagations),
             conflicts: self.conflicts.saturating_sub(earlier.conflicts),
             restarts: self.restarts.saturating_sub(earlier.restarts),
+            rephasings: self.rephasings.saturating_sub(earlier.rephasings),
+            chrono_backtracks: self
+                .chrono_backtracks
+                .saturating_sub(earlier.chrono_backtracks),
+            vivified_clauses: self
+                .vivified_clauses
+                .saturating_sub(earlier.vivified_clauses),
+            shared_clause_imports: self
+                .shared_clause_imports
+                .saturating_sub(earlier.shared_clause_imports),
             learnt_clauses: self.learnt_clauses,
             deleted_clauses: self.deleted_clauses.saturating_sub(earlier.deleted_clauses),
             arena_collections: self
@@ -86,6 +109,74 @@ impl SolverStats {
         }
     }
 }
+
+/// Feature toggles for the CDCL search loop.
+///
+/// The default configuration enables the full modern search loop; the all-off
+/// [`SearchConfig::baseline`] reproduces the plain Luby-restart search the
+/// differential test harness compares against. Every feature preserves
+/// verdicts and proof-log checkability — the toggles exist so the property
+/// suites can pin each heuristic against the baseline in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Glucose-style EMA restarts: restart early when the short-term average
+    /// LBD of learned clauses degrades past the long-term average (the
+    /// LBD-quality gate), postponed while the trail is unusually deep (the
+    /// assignment looks close to a model). The Luby budget remains as the
+    /// outer cadence either way.
+    pub ema_restart: bool,
+    /// Branch on the variable's saved phase (last assigned polarity) instead
+    /// of a constant `false` polarity.
+    pub phase_saving: bool,
+    /// Target rephasing: periodically reset the saved phases wholesale,
+    /// cycling through the best-trail snapshot, its inverse, constant and
+    /// deterministic random polarities.
+    pub rephasing: bool,
+    /// Chronological backtracking: when the non-chronological backjump would
+    /// undo more than [`SearchConfig::chrono_threshold`] levels, back off a
+    /// single level instead and let the asserting clause propagate there.
+    pub chrono_backtrack: bool,
+    /// Minimum backjump distance (in decision levels) before chronological
+    /// backtracking replaces the far backjump.
+    pub chrono_threshold: u32,
+    /// Clause vivification during inprocessing ([`Solver::vivify`]); the
+    /// flag is consulted by the unrolling layer between bound extensions,
+    /// not by `solve` itself.
+    pub vivify: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            ema_restart: true,
+            phase_saving: true,
+            rephasing: true,
+            chrono_backtrack: true,
+            chrono_threshold: 100,
+            vivify: true,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// The pre-overhaul search loop: plain Luby restarts, constant branching
+    /// polarity, always-non-chronological backjumps, no vivification. The
+    /// differential reference every feature is compared against.
+    pub fn baseline() -> Self {
+        Self {
+            ema_restart: false,
+            phase_saving: false,
+            rephasing: false,
+            chrono_backtrack: false,
+            chrono_threshold: 100,
+            vivify: false,
+        }
+    }
+}
+
+/// Share ceiling marking a clause whose derivation left the shareable
+/// (transition-definitional) fragment; such clauses are never exported.
+pub(crate) const SHARE_NONE: u32 = u32::MAX;
 
 /// Clause metadata for clauses of three or more literals. The literals
 /// themselves live in one flat arena (`Solver::clause_lits`) indexed by
@@ -105,6 +196,14 @@ pub(crate) struct ClauseHeader {
     /// clause at learning time. Problem clauses carry 0; learned clauses with
     /// `lbd <= 2` ("glue" clauses) are never deleted by database reduction.
     pub(crate) lbd: u32,
+    /// Cross-query sharing ceiling: the highest frame tag over every axiom
+    /// used in this clause's derivation, or [`SHARE_NONE`] when the
+    /// derivation used any clause outside the shareable fragment (scenario
+    /// constraints, obligations, probing, vivification).
+    pub(crate) share: u32,
+    /// Whether the clause has already been handed to the shared pool (so one
+    /// clause is exported at most once per solver).
+    pub(crate) exported: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -325,6 +424,49 @@ pub struct Solver {
     /// logging is off, so every log site costs one branch on a pointer-sized
     /// field.
     pub(crate) proof: Option<Box<ProofLog>>,
+    /// Search-loop feature toggles (see [`SearchConfig`]).
+    config: SearchConfig,
+    /// Short-term (1/32) exponential moving average of learned-clause LBD.
+    lbd_ema_fast: f64,
+    /// Long-term (1/4096) exponential moving average of learned-clause LBD.
+    lbd_ema_slow: f64,
+    /// Long-term exponential moving average of the trail size at conflicts,
+    /// used to postpone EMA restarts while an assignment looks promising.
+    trail_ema: f64,
+    /// Whether the EMAs have been seeded with a first observation.
+    ema_seeded: bool,
+    /// Conflict count at which the next rephasing fires.
+    rephase_next: u64,
+    /// Current rephasing interval (grows by 50% per rephase).
+    rephase_interval: u64,
+    /// Which rephasing variant fires next (cycles through the kinds).
+    rephase_kind: u8,
+    /// Deterministic xorshift state for the random rephasing variant.
+    rephase_rng: u64,
+    /// Saved polarities of the deepest trail seen since the last rephase
+    /// (the "target" phase vector).
+    best_phase: Vec<bool>,
+    /// Size of the deepest trail recorded into `best_phase`.
+    best_trail: usize,
+    /// Rotating scan position of the vivifier, so successive inprocessing
+    /// calls spread their budget across the whole clause database.
+    vivify_head: usize,
+    /// Share ceiling assigned to clauses added through [`Solver::add_clause`]
+    /// while a shareable encoding section is open (see
+    /// [`Solver::set_share_ceiling`]); `SHARE_NONE` outside such sections.
+    share_mode: u32,
+    /// Share ceilings of binary clauses, keyed by the two literal codes in
+    /// ascending order. Only shareable binaries are stored; absence means
+    /// `SHARE_NONE`.
+    bin_share: HashMap<(u32, u32), u32>,
+    /// Share ceilings of root-level (level-0) assignments: the derivation
+    /// ceiling of the fact, folded into every conflict analysis that resolves
+    /// the literal away. `SHARE_NONE` for unshareable facts.
+    pub(crate) level0_share: Vec<u32>,
+    /// Shareable learned binary clauses awaiting export.
+    bin_exports: Vec<(Lit, Lit, u32)>,
+    /// Shareable root-level facts awaiting export.
+    unit_exports: Vec<(Lit, u32)>,
 }
 
 impl Default for Solver {
@@ -375,7 +517,34 @@ impl Solver {
             extension: Vec::new(),
             simp_stats: SimplifyStats::default(),
             proof: None,
+            config: SearchConfig::default(),
+            lbd_ema_fast: 0.0,
+            lbd_ema_slow: 0.0,
+            trail_ema: 0.0,
+            ema_seeded: false,
+            rephase_next: 1024,
+            rephase_interval: 1024,
+            rephase_kind: 0,
+            rephase_rng: 0x9e37_79b9_7f4a_7c15,
+            best_phase: Vec::new(),
+            best_trail: 0,
+            vivify_head: 0,
+            share_mode: SHARE_NONE,
+            bin_share: HashMap::new(),
+            level0_share: Vec::new(),
+            bin_exports: Vec::new(),
+            unit_exports: Vec::new(),
         }
+    }
+
+    /// Replaces the search-loop feature toggles (see [`SearchConfig`]).
+    pub fn set_search_config(&mut self, config: SearchConfig) {
+        self.config = config;
+    }
+
+    /// The active search-loop feature toggles.
+    pub fn search_config(&self) -> SearchConfig {
+        self.config
     }
 
     /// Starts DRAT-style proof logging.
@@ -568,6 +737,8 @@ impl Solver {
         });
         self.activity.push(0.0);
         self.phase.push(false);
+        self.best_phase.push(false);
+        self.level0_share.push(SHARE_NONE);
         self.seen.push(false);
         self.frozen.push(false);
         self.eliminated.push(false);
@@ -661,13 +832,17 @@ impl Solver {
             return; // tautology
         }
         let mut simplified: Vec<Lit> = Vec::with_capacity(clause.len());
+        // Dropping a root-falsified literal is a resolution with the level-0
+        // fact, so the stored clause's share ceiling folds that fact's
+        // derivation ceiling in.
+        let mut share = self.share_mode;
         for &l in &clause {
             if simplified.contains(&l) {
                 continue; // duplicate
             }
             match self.value_lit(l) {
                 LBool::True => return, // already satisfied
-                LBool::False => {}     // drop falsified literal
+                LBool::False => share = share.max(self.level0_share[l.var().index()]),
                 LBool::Undef => simplified.push(l),
             }
         }
@@ -676,16 +851,17 @@ impl Solver {
                 self.ok = false;
             }
             1 => {
+                self.set_level0_share(simplified[0], share);
                 self.enqueue(simplified[0], Reason::Decision);
                 if self.propagate().is_some() {
                     self.ok = false;
                 }
             }
             2 => {
-                self.attach_binary(simplified[0], simplified[1]);
+                self.attach_binary_shared(simplified[0], simplified[1], share);
             }
             _ => {
-                self.attach_clause(simplified, false);
+                self.attach_clause_shared(simplified, false, share);
             }
         }
     }
@@ -705,6 +881,47 @@ impl Solver {
         self.bin_watches[(!a).code()].push(b);
         self.bin_watches[(!b).code()].push(a);
         self.num_bin_clauses += 1;
+    }
+
+    /// [`Solver::attach_binary`] carrying a share ceiling. Duplicate binaries
+    /// keep the smallest ceiling seen (if a shareable copy exists the clause
+    /// is derivable at that ceiling regardless of later copies).
+    pub(crate) fn attach_binary_shared(&mut self, a: Lit, b: Lit, share: u32) {
+        self.attach_binary(a, b);
+        if share != SHARE_NONE {
+            let key = Self::bin_key(a, b);
+            let entry = self.bin_share.entry(key).or_insert(share);
+            *entry = (*entry).min(share);
+        }
+    }
+
+    /// Canonical map key of a binary clause: both literal codes, ascending.
+    fn bin_key(a: Lit, b: Lit) -> (u32, u32) {
+        let (x, y) = (a.code() as u32, b.code() as u32);
+        (x.min(y), x.max(y))
+    }
+
+    /// Share ceiling of a binary clause (`SHARE_NONE` when untracked).
+    pub(crate) fn bin_share_of(&self, a: Lit, b: Lit) -> u32 {
+        self.bin_share
+            .get(&Self::bin_key(a, b))
+            .copied()
+            .unwrap_or(SHARE_NONE)
+    }
+
+    /// Records the derivation ceiling of a root-level fact, and queues it for
+    /// export when shareable.
+    pub(crate) fn set_level0_share(&mut self, lit: Lit, share: u32) {
+        self.level0_share[lit.var().index()] = share;
+        if share != SHARE_NONE {
+            self.unit_exports.push((lit, share));
+        }
+    }
+
+    /// Clears every binary share ceiling (used by the simplifier rebuild,
+    /// which re-adds surviving binaries with recomputed ceilings).
+    pub(crate) fn clear_bin_share(&mut self) {
+        self.bin_share.clear();
     }
 
     pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
@@ -734,8 +951,38 @@ impl Solver {
             deleted: false,
             activity: 0.0,
             lbd: 0,
+            share: SHARE_NONE,
+            exported: false,
         });
         idx
+    }
+
+    /// [`Solver::attach_clause`] carrying a share ceiling.
+    pub(crate) fn attach_clause_shared(&mut self, lits: Vec<Lit>, learnt: bool, share: u32) -> u32 {
+        let idx = self.attach_clause(lits, learnt);
+        self.headers[idx as usize].share = share;
+        idx
+    }
+
+    /// Opens (`Some(frame)`) or closes (`None`) a shareable encoding section:
+    /// clauses added while a section is open are tagged with the given frame
+    /// ceiling and become candidates for cross-query sharing. Only the
+    /// transition-relation encoding of the unrolling layer opens sections —
+    /// scenario constraints and obligations stay untagged, which is what
+    /// keeps exported clauses sound in other queries over the same compiled
+    /// transition.
+    pub fn set_share_ceiling(&mut self, frame: Option<u32>) {
+        self.share_mode = frame.unwrap_or(SHARE_NONE);
+    }
+
+    /// Retroactively marks every current root-level fact as shareable at the
+    /// given ceiling. The unrolling layer calls this once for the constant
+    /// `true` literal that precedes the first shareable section.
+    pub fn mark_root_facts_shared(&mut self, frame: u32) {
+        for i in 0..self.trail.len() {
+            let lit = self.trail[i];
+            self.set_level0_share(lit, frame);
+        }
     }
 
     pub(crate) fn enqueue(&mut self, lit: Lit, reason: Reason) {
@@ -765,7 +1012,18 @@ impl Solver {
                 for &q in &implications {
                     match self.value_lit(q) {
                         LBool::True => {}
-                        LBool::Undef => self.enqueue(q, Reason::Binary(!p)),
+                        LBool::Undef => {
+                            if self.trail_lim.is_empty() {
+                                // A root-level propagation derives a new
+                                // level-0 fact; its share ceiling folds the
+                                // binary clause's and the antecedent fact's.
+                                let share = self
+                                    .bin_share_of(!p, q)
+                                    .max(self.level0_share[p.var().index()]);
+                                self.set_level0_share(q, share);
+                            }
+                            self.enqueue(q, Reason::Binary(!p));
+                        }
                         LBool::False => {
                             conflict = Some(Conflict::Binary(q, !p));
                             break;
@@ -842,6 +1100,14 @@ impl Solver {
                     // Copy back the remaining watchers untouched.
                     break;
                 } else {
+                    if self.trail_lim.is_empty() {
+                        let mut share = self.headers[ci].share;
+                        for k in 1..len {
+                            share =
+                                share.max(self.level0_share[self.clause_lits[s + k].var().index()]);
+                        }
+                        self.set_level0_share(first, share);
+                    }
                     self.enqueue(first, Reason::Long(w.clause));
                     i += 1;
                 }
@@ -878,7 +1144,7 @@ impl Solver {
         }
     }
 
-    fn analyze(&mut self, confl: Conflict) -> (Vec<Lit>, u32) {
+    fn analyze(&mut self, confl: Conflict) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for the asserting literal
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
@@ -886,6 +1152,12 @@ impl Solver {
         let mut index = self.trail.len();
         let current_level = self.decision_level();
         let mut lits = std::mem::take(&mut self.analyze_scratch);
+        // Share ceiling of the derivation: the learnt clause is a resolvent
+        // of exactly the clauses visited below (conflict clause + reasons),
+        // plus — through the level-0 skips — the derivations of any root
+        // facts resolved away. The running maximum over all of them is the
+        // ceiling of the learnt clause.
+        let mut share = 0u32;
 
         loop {
             lits.clear();
@@ -894,9 +1166,11 @@ impl Solver {
                     if self.headers[ci as usize].learnt {
                         self.bump_clause(ci);
                     }
+                    share = share.max(self.headers[ci as usize].share);
                     lits.extend_from_slice(self.lits_of(ci));
                 }
                 Conflict::Binary(a, b) => {
+                    share = share.max(self.bin_share_of(a, b));
                     lits.push(a);
                     lits.push(b);
                 }
@@ -912,6 +1186,9 @@ impl Solver {
                     } else {
                         learnt.push(q);
                     }
+                } else if self.var_data[v.index()].level == 0 {
+                    // Resolving a root fact away uses that fact's derivation.
+                    share = share.max(self.level0_share[v.index()]);
                 }
             }
             // Find the next literal on the trail to resolve on.
@@ -960,7 +1237,7 @@ impl Solver {
             learnt.swap(1, max_i);
             self.var_data[learnt[1].var().index()].level
         };
-        (learnt, backtrack_level)
+        (learnt, backtrack_level, share)
     }
 
     pub(crate) fn backtrack_to(&mut self, level: u32) {
@@ -1213,6 +1490,301 @@ impl Solver {
         Ok(())
     }
 
+    /// Target rephasing: wholesale reset of the saved phase vector. Cycles
+    /// through the best-trail snapshot (the assignment that got deepest since
+    /// the last rephase), the inverse of the current phases, the constant
+    /// `false` polarity and a deterministic xorshift-random vector — with the
+    /// best-trail target taking every other turn, as in modern CDCL solvers.
+    fn rephase(&mut self) {
+        self.stats.rephasings += 1;
+        match self.rephase_kind {
+            0 | 2 | 4 => self.phase.copy_from_slice(&self.best_phase),
+            1 => {
+                for p in &mut self.phase {
+                    *p = !*p;
+                }
+            }
+            3 => {
+                for p in &mut self.phase {
+                    *p = false;
+                }
+            }
+            _ => {
+                for i in 0..self.phase.len() {
+                    self.rephase_rng ^= self.rephase_rng << 13;
+                    self.rephase_rng ^= self.rephase_rng >> 7;
+                    self.rephase_rng ^= self.rephase_rng << 17;
+                    self.phase[i] = self.rephase_rng & 1 == 1;
+                }
+            }
+        }
+        self.rephase_kind = (self.rephase_kind + 1) % 6;
+        self.best_trail = 0;
+    }
+
+    /// Clause vivification (inprocessing): for each candidate clause, assume
+    /// the negation of its literals one at a time (with the clause itself
+    /// detached) and propagate. A conflict, an implied literal or a falsified
+    /// literal each prove a shorter clause, which replaces the original —
+    /// logged as a lemma/deletion pair so proof logs stay checkable (the
+    /// strengthened clause is reverse-unit-propagation derivable from the
+    /// rest of the database, and from the original clause in the
+    /// falsified-literal case, which is why the lemma is emitted *before* the
+    /// deletion).
+    ///
+    /// Runs at decision level 0 between solve calls; `max_propagations`
+    /// bounds the probing effort, and a rotating cursor spreads successive
+    /// calls across the clause database. Returns the number of clauses
+    /// strengthened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level 0.
+    pub fn vivify(&mut self, max_propagations: u64) -> u64 {
+        assert_eq!(self.decision_level(), 0, "vivify runs at decision level 0");
+        if !self.ok {
+            return 0;
+        }
+        let mut span = if obs::enabled() {
+            Some(obs::span("sat.vivify"))
+        } else {
+            None
+        };
+        // Probing pollutes the saved phases (backtracking records the probe
+        // polarity); snapshot and restore so search heuristics are unaffected.
+        let saved_phase = self.phase.clone();
+        // Clauses locked as a root-level propagation reason must survive.
+        self.locked_marks.clear();
+        self.locked_marks.resize(self.headers.len(), false);
+        for i in 0..self.trail.len() {
+            if let Reason::Long(c) = self.var_data[self.trail[i].var().index()].reason {
+                self.locked_marks[c as usize] = true;
+            }
+        }
+        let start_props = self.stats.propagations;
+        let num = self.headers.len();
+        let mut strengthened = 0u64;
+        let mut scanned = 0usize;
+        while scanned < num && self.ok {
+            if self.stats.propagations - start_props >= max_propagations {
+                break;
+            }
+            let ci = self.vivify_head % num.max(1);
+            self.vivify_head = (self.vivify_head + 1) % num.max(1);
+            scanned += 1;
+            let h = self.headers[ci];
+            let len = h.len as usize;
+            if h.deleted || self.locked_marks[ci] || !(3..=24).contains(&len) {
+                continue;
+            }
+            let lits: Vec<Lit> = self.lits_of(ci as u32).to_vec();
+            if lits.iter().any(|&l| self.value_lit(l) == LBool::True) {
+                continue; // root-satisfied; the simplifier's business
+            }
+            // Detach so the probe cannot propagate through the clause itself.
+            self.detach_watchers(ci as u32, lits[0], lits[1]);
+            let mut kept: Vec<Lit> = Vec::with_capacity(len);
+            for &l in &lits {
+                match self.value_lit(l) {
+                    // Implied by the negations assumed so far: the clause
+                    // shrinks to the assumed prefix plus this literal.
+                    LBool::True => {
+                        kept.push(l);
+                        break;
+                    }
+                    // Refuted by the negations assumed so far (or at root):
+                    // the literal is redundant and drops out.
+                    LBool::False => {}
+                    LBool::Undef => {
+                        self.push_decision(!l);
+                        let conflict = self.propagate().is_some();
+                        kept.push(l);
+                        if conflict {
+                            break; // the assumed prefix is already contradictory
+                        }
+                    }
+                }
+            }
+            self.backtrack_to(0);
+            if kept.len() == lits.len() {
+                // No strengthening: restore the original watchers.
+                self.watches[(!lits[0]).code()].push(Watcher {
+                    clause: ci as u32,
+                    blocker: lits[1],
+                });
+                self.watches[(!lits[1]).code()].push(Watcher {
+                    clause: ci as u32,
+                    blocker: lits[0],
+                });
+                continue;
+            }
+            strengthened += 1;
+            self.stats.vivified_clauses += 1;
+            // Lemma before deletion: the checker must still hold the original
+            // clause while verifying the strengthened one.
+            self.log_lemma(&kept);
+            self.log_delete_clause(ci as u32);
+            self.headers[ci].deleted = true;
+            self.wasted_lits += len;
+            if h.learnt {
+                self.num_learnts -= 1;
+                self.stats.learnt_clauses = self.num_learnts as u64;
+            }
+            match kept.len() {
+                0 => self.ok = false,
+                1 => match self.value_lit(kept[0]) {
+                    LBool::True => {}
+                    LBool::False => self.ok = false,
+                    LBool::Undef => {
+                        self.level0_share[kept[0].var().index()] = SHARE_NONE;
+                        self.enqueue(kept[0], Reason::Decision);
+                        if self.propagate().is_some() {
+                            self.ok = false;
+                        }
+                    }
+                },
+                2 => self.attach_binary_shared(kept[0], kept[1], SHARE_NONE),
+                _ => {
+                    let lbd = if h.learnt {
+                        h.lbd.clamp(1, kept.len() as u32)
+                    } else {
+                        0
+                    };
+                    let learnt = h.learnt;
+                    let cref = self.attach_clause_shared(kept, learnt, SHARE_NONE);
+                    self.headers[cref as usize].lbd = lbd;
+                }
+            }
+        }
+        self.phase = saved_phase;
+        if self.wasted_lits * Self::GC_WASTE_DENOMINATOR >= self.clause_lits.len()
+            && self.wasted_lits > 0
+        {
+            self.collect_arena();
+        }
+        if let Some(span) = &mut span {
+            span.attr_u64("checked", scanned as u64);
+            span.attr_u64("strengthened", strengthened);
+            span.attr_u64(
+                "propagations",
+                self.stats.propagations.saturating_sub(start_props),
+            );
+        }
+        strengthened
+    }
+
+    /// Removes the two watcher entries of a clause (watched on `a` and `b`).
+    fn detach_watchers(&mut self, clause: u32, a: Lit, b: Lit) {
+        for l in [a, b] {
+            let list = &mut self.watches[(!l).code()];
+            if let Some(pos) = list.iter().position(|w| w.clause == clause) {
+                list.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Hands every not-yet-exported shareable learned clause — long clauses
+    /// within the length/LBD quality bounds, learned binaries and root facts
+    /// — to `f` together with its share ceiling, marking it exported so each
+    /// clause leaves the solver at most once.
+    ///
+    /// A clause is shareable when its entire derivation stayed inside the
+    /// shareable fragment opened with [`Solver::set_share_ceiling`]; the
+    /// ceiling is the highest frame tag used anywhere in the derivation.
+    pub fn drain_exportable(
+        &mut self,
+        max_len: usize,
+        max_lbd: u32,
+        mut f: impl FnMut(&[Lit], u32),
+    ) {
+        for (lit, share) in std::mem::take(&mut self.unit_exports) {
+            f(&[lit], share);
+        }
+        for (a, b, share) in std::mem::take(&mut self.bin_exports) {
+            f(&[a, b], share);
+        }
+        for i in 0..self.headers.len() {
+            let h = self.headers[i];
+            if h.deleted
+                || !h.learnt
+                || h.exported
+                || h.share == SHARE_NONE
+                || h.len as usize > max_len
+                || h.lbd > max_lbd
+            {
+                continue;
+            }
+            self.headers[i].exported = true;
+            let lits = &self.clause_lits[h.start as usize..(h.start + h.len) as usize];
+            f(lits, h.share);
+        }
+    }
+
+    /// Imports a clause learned by another solver over the same shareable
+    /// fragment, attaching it as a learned clause.
+    ///
+    /// Freeze-contract check: the import is rejected (returning `false`) when
+    /// any literal refers to an unallocated or eliminated variable — the
+    /// exporting solver's fragment may mention variables this solver's
+    /// bounded variable elimination has removed, and resurrecting them would
+    /// break the model-extension contract. Also rejected while proof logging
+    /// is active: an imported lemma is a consequence of a *different*
+    /// formula's derivation and cannot be justified inside the local DRAT
+    /// log (certified runs therefore never import; see `docs/certificates.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level 0.
+    pub fn import_shared(&mut self, lits: &[Lit], share: u32) -> bool {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "imports happen between solves at decision level 0"
+        );
+        if !self.ok || self.proof.is_some() {
+            return false;
+        }
+        let mut share = share;
+        let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if l.var().index() >= self.num_vars() || self.eliminated[l.var().index()] {
+                return false;
+            }
+            if kept.contains(&l) {
+                continue;
+            }
+            match self.value_lit(l) {
+                LBool::True => return false, // already satisfied at root
+                LBool::False => share = share.max(self.level0_share[l.var().index()]),
+                LBool::Undef => kept.push(l),
+            }
+        }
+        if kept.iter().any(|&l| kept.contains(&!l)) {
+            return false; // tautology
+        }
+        self.stats.shared_clause_imports += 1;
+        match kept.len() {
+            0 => self.ok = false, // every literal root-false: refutation found
+            1 => {
+                // Direct store (not `set_level0_share`): echoing the fact
+                // straight back to the pool would be pure churn.
+                self.level0_share[kept[0].var().index()] = share;
+                self.enqueue(kept[0], Reason::Decision);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            2 => self.attach_binary_shared(kept[0], kept[1], share),
+            _ => {
+                let lbd = (kept.len() as u32 - 1).min(6);
+                let cref = self.attach_clause_shared(kept, true, share);
+                self.headers[cref as usize].lbd = lbd;
+                self.headers[cref as usize].exported = true; // no re-export echo
+            }
+        }
+        true
+    }
+
     /// Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).
     fn luby(i: u64) -> u64 {
         let mut seq = 0u32;
@@ -1292,10 +1864,28 @@ impl Solver {
         span.attr_u64("propagations", delta.propagations);
         span.attr_u64("restarts", delta.restarts);
         span.attr_u64("arena_collections", delta.arena_collections);
+        span.attr_u64("rephasings", delta.rephasings);
+        span.attr_u64("chrono_backtracks", delta.chrono_backtracks);
+        span.attr_u64("vivified_clauses", delta.vivified_clauses);
+        span.attr_u64("shared_clause_imports", delta.shared_clause_imports);
         obs::counter("conflicts", delta.conflicts);
         obs::counter("propagations", delta.propagations);
         obs::counter("restarts", delta.restarts);
         obs::counter("arena_collections", delta.arena_collections);
+        if delta.restarts > 0 {
+            // Marker child span summarizing the episode's restart behaviour.
+            let mut rspan = obs::span("sat.restart");
+            rspan.attr_str(
+                "policy",
+                if self.config.ema_restart {
+                    "ema+luby"
+                } else {
+                    "luby"
+                },
+            );
+            rspan.attr_u64("restarts", delta.restarts);
+            rspan.attr_u64("rephasings", delta.rephasings);
+        }
         if let Some(p) = &self.proof {
             // Marker child span carrying the certificate-size attributes of
             // the proof log accumulated so far.
@@ -1359,6 +1949,11 @@ impl Solver {
                     restart_count += 1;
                     self.stats.restarts += 1;
                     self.backtrack_to(0);
+                    if self.config.rephasing && self.stats.conflicts >= self.rephase_next {
+                        self.rephase();
+                        self.rephase_interval += self.rephase_interval / 2;
+                        self.rephase_next = self.stats.conflicts + self.rephase_interval;
+                    }
                 }
                 SearchOutcome::LimitReached => {
                     self.backtrack_to(0);
@@ -1383,27 +1978,90 @@ impl Solver {
                     self.ok = false;
                     return SearchOutcome::Unsat;
                 }
+                // Target-phase snapshot: the deepest trail seen since the
+                // last rephase is the assignment that got closest to a model.
+                if self.config.rephasing && self.trail.len() > self.best_trail {
+                    self.best_trail = self.trail.len();
+                    for i in 0..self.trail.len() {
+                        let lit = self.trail[i];
+                        self.best_phase[lit.var().index()] = lit.is_positive();
+                    }
+                }
+                let trail_size = self.trail.len();
                 // Conflicts below the assumption levels mean the assumptions
                 // themselves are contradictory with the formula.
-                let (learnt, backtrack_level) = self.analyze(confl);
-                self.backtrack_to(backtrack_level);
+                let (learnt, backtrack_level, share) = self.analyze(confl);
+                let current_level = self.decision_level();
+                // Chronological backtracking: a far backjump throws away the
+                // whole assignment prefix above the assertion level even when
+                // the conflict is unrelated to it. For jumps longer than the
+                // threshold, back off one level instead — the learnt clause
+                // is still asserting there (its non-UIP literals sit at
+                // levels <= backtrack_level < current_level - 1), and the
+                // trail stays sorted by level because the asserting literal
+                // is recorded at the new decision level.
+                let target_level = if self.config.chrono_backtrack
+                    && learnt.len() >= 2
+                    && current_level - backtrack_level > self.config.chrono_threshold
+                {
+                    self.stats.chrono_backtracks += 1;
+                    current_level - 1
+                } else {
+                    backtrack_level
+                };
+                self.backtrack_to(target_level);
                 self.log_lemma(&learnt);
+                let lbd = match learnt.len() {
+                    1 => 1,
+                    2 => 2,
+                    _ => self.compute_lbd(&learnt),
+                };
                 match learnt.len() {
-                    1 => self.enqueue(learnt[0], Reason::Decision),
+                    1 => {
+                        if self.decision_level() == 0 {
+                            self.set_level0_share(learnt[0], share);
+                        }
+                        self.enqueue(learnt[0], Reason::Decision)
+                    }
                     2 => {
-                        self.attach_binary(learnt[0], learnt[1]);
+                        self.attach_binary_shared(learnt[0], learnt[1], share);
+                        if share != SHARE_NONE {
+                            self.bin_exports.push((learnt[0], learnt[1], share));
+                        }
                         self.enqueue(learnt[0], Reason::Binary(learnt[1]));
                     }
                     _ => {
-                        let lbd = self.compute_lbd(&learnt);
                         let first = learnt[0];
-                        let cref = self.attach_clause(learnt, true);
+                        let cref = self.attach_clause_shared(learnt, true, share);
                         self.headers[cref as usize].lbd = lbd;
                         self.enqueue(first, Reason::Long(cref));
                     }
                 }
                 self.var_inc /= 0.95;
                 self.clause_inc /= 0.999;
+                // Restart-quality EMAs (glucose-style): short-term vs
+                // long-term LBD average, plus a trail-size average used to
+                // postpone restarts while the assignment is unusually deep.
+                if self.config.ema_restart {
+                    let l = lbd as f64;
+                    let t = trail_size as f64;
+                    if self.ema_seeded {
+                        self.lbd_ema_fast += (l - self.lbd_ema_fast) / 32.0;
+                        self.lbd_ema_slow += (l - self.lbd_ema_slow) / 4096.0;
+                        self.trail_ema += (t - self.trail_ema) / 4096.0;
+                    } else {
+                        self.lbd_ema_fast = l;
+                        self.lbd_ema_slow = l;
+                        self.trail_ema = t;
+                        self.ema_seeded = true;
+                    }
+                    // Blocking: a conflict from a much-deeper-than-average
+                    // trail suggests the search is near a model; reset the
+                    // short-term average so the quality gate re-arms.
+                    if trail_size as f64 > 1.4 * self.trail_ema {
+                        self.lbd_ema_fast = self.lbd_ema_slow;
+                    }
+                }
                 if let Some(limit) = self.conflict_limit {
                     if self.stats.conflicts - conflict_start >= limit {
                         return SearchOutcome::LimitReached;
@@ -1416,7 +2074,14 @@ impl Solver {
                     self.reduce_db();
                     self.max_learnts += self.max_learnts / 2;
                 }
-                if conflicts_this_round >= conflict_budget {
+                // LBD-quality gate: recent learnt clauses are markedly worse
+                // than the long-term average, so the current orientation is
+                // unproductive — restart early rather than riding out the
+                // whole Luby budget.
+                let ema_restart = self.config.ema_restart
+                    && conflicts_this_round >= 32
+                    && self.lbd_ema_fast > 1.25 * self.lbd_ema_slow;
+                if ema_restart || conflicts_this_round >= conflict_budget {
                     return SearchOutcome::Restart;
                 }
             } else {
@@ -1434,10 +2099,13 @@ impl Solver {
                 }
                 let decision = match next_decision {
                     Some(a) => Some(a),
-                    None => self.pick_branch_var().map(|v| {
-                        let phase = self.phase[v.index()];
-                        Lit::new(v, phase)
-                    }),
+                    None => {
+                        let phase_saving = self.config.phase_saving;
+                        self.pick_branch_var().map(|v| {
+                            let phase = phase_saving && self.phase[v.index()];
+                            Lit::new(v, phase)
+                        })
+                    }
                 };
                 match decision {
                     None => return SearchOutcome::Sat,

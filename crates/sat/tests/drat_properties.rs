@@ -184,6 +184,144 @@ fn logging_does_not_change_verdicts() {
     }
 }
 
+/// Vivification under the proof log: every strengthened clause must enter
+/// the log as a lemma (the shortened clause, a RUP consequence) *followed*
+/// by a deletion of its original, and the resulting log must check. A
+/// vivified log that later refutes must also still check and trim.
+#[test]
+fn vivification_logs_lemma_delete_pairs() {
+    let mut rng = SplitMix64::new(0xd8a7_0005);
+    let mut strengthened_total = 0u64;
+    for case in 0..64 {
+        let (num_vars, clauses) = random_formula(&mut rng);
+        let mut solver = Solver::new();
+        solver.reserve_vars(num_vars);
+        solver.start_proof_log();
+        for c in clauses.iter() {
+            solver.add_clause(c.iter().copied());
+        }
+        // Give vivification material to work on: learned clauses from a
+        // first solve plus the original near-phase-transition clause set.
+        if matches!(solver.solve(), SatResult::Unsat) {
+            continue;
+        }
+        let events_before = solver.proof_log().expect("logging was on").events().count();
+        let strengthened = solver.vivify(50_000);
+        strengthened_total += strengthened;
+        let log = solver.proof_log().expect("logging was on");
+
+        // Each strengthening appends exactly one Add (the shortened clause)
+        // and one Delete (its original), in that order, so the shortened
+        // clause is derivable while the original is still present.
+        let new_events: Vec<(ProofStep, Vec<Lit>)> = log
+            .events()
+            .skip(events_before)
+            .map(|(s, l)| (s, l.to_vec()))
+            .collect();
+        let adds = new_events
+            .iter()
+            .filter(|(s, _)| *s == ProofStep::Add)
+            .count() as u64;
+        let deletes = new_events
+            .iter()
+            .filter(|(s, _)| *s == ProofStep::Delete)
+            .count() as u64;
+        assert_eq!(
+            adds, strengthened,
+            "case {case}: one lemma per vivification"
+        );
+        assert_eq!(
+            deletes, strengthened,
+            "case {case}: one deletion per vivification"
+        );
+        for pair in new_events.chunks(2) {
+            let [(first, shortened), (second, original)] = pair else {
+                panic!("case {case}: vivification events must come in pairs");
+            };
+            assert_eq!(*first, ProofStep::Add, "case {case}");
+            assert_eq!(*second, ProofStep::Delete, "case {case}");
+            assert!(
+                shortened.len() < original.len(),
+                "case {case}: vivification must shorten the clause"
+            );
+        }
+
+        // The vivified solver must still refute honestly: force
+        // unsatisfiability with fresh contradictory obligations and check
+        // the complete log, vivification events included.
+        if strengthened > 0 {
+            let x = solver.new_var().positive();
+            solver.add_clause([x]);
+            solver.add_clause([!x]);
+            assert!(matches!(solver.solve(), SatResult::Unsat), "case {case}");
+            let log = solver.take_proof_log().expect("logging was on");
+            check(&log, &[]).unwrap_or_else(|e| panic!("case {case}: vivified log rejected: {e}"));
+            let (trimmed, _) = trim(&log, &[]).expect("vivified log trims");
+            check(&trimmed, &[]).unwrap_or_else(|e| panic!("case {case}: trimmed recheck: {e}"));
+        }
+    }
+    assert!(
+        strengthened_total > 0,
+        "the generator never produced a vivifiable clause; the property is vacuous"
+    );
+}
+
+/// Tampering with a vivification lemma — flipping a single literal of the
+/// shortened clause — must make the checker reject (or provably not rely on
+/// the mutated event).
+#[test]
+fn tampered_vivification_lemmas_are_rejected() {
+    let mut rng = SplitMix64::new(0xd8a7_0006);
+    let mut tampered = 0;
+    for _case in 0..192 {
+        if tampered >= 8 {
+            break;
+        }
+        let (num_vars, clauses) = random_formula(&mut rng);
+        let mut solver = Solver::new();
+        solver.reserve_vars(num_vars);
+        solver.start_proof_log();
+        for c in clauses.iter() {
+            solver.add_clause(c.iter().copied());
+        }
+        if matches!(solver.solve(), SatResult::Unsat) {
+            continue;
+        }
+        let events_before = solver.proof_log().expect("logging was on").events().count();
+        if solver.vivify(50_000) == 0 {
+            continue;
+        }
+        let log = solver.take_proof_log().expect("logging was on");
+        let events: Vec<(ProofStep, Vec<Lit>)> =
+            log.events().map(|(s, l)| (s, l.to_vec())).collect();
+        let target = events[events_before..]
+            .iter()
+            .position(|(s, _)| *s == ProofStep::Add)
+            .map(|i| events_before + i)
+            .expect("a strengthening logs a lemma");
+
+        // Replace the vivification lemma with a unit over a fresh variable:
+        // unconstrained, so never a RUP consequence.
+        let fresh = Lit::new(Var::from_index(num_vars + 7), true);
+        let mut mutated = ProofLog::new();
+        for (i, (step, lits)) in events.iter().enumerate() {
+            if i == target {
+                mutated.push(ProofStep::Add, &[fresh]);
+            } else {
+                mutated.push(*step, lits);
+            }
+        }
+        // The log so far has no refutation at all, so a strict checker must
+        // reject — either at the bogus lemma or for the missing refutation.
+        assert!(
+            check(&mutated, &[]).is_err(),
+            "a tampered vivification lemma in a refutation-free log must not check"
+        );
+        tampered += 1;
+    }
+    assert!(tampered >= 2, "too few vivification cases were generated");
+}
+
 /// Certificates under assumptions: an activation-literal query that comes
 /// back unsat yields a log that checks with the same assumptions, exactly as
 /// the BMC engine uses it.

@@ -9,8 +9,8 @@
 #
 # --full additionally runs the release-mode `--ignored` acceptance sweeps
 # (full-registry simplification differential, full instance-registry scan,
-# default-seed fuzz-witness reproduction, full certified-verdict sweep) —
-# several minutes of SAT solving.
+# default-seed fuzz-witness reproduction, full clause-sharing differential,
+# full certified-verdict sweep) — several minutes of SAT solving.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,11 +35,13 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "==> bench smoke: solver_stats --smoke (verdict agreement, k=1 subset)"
-# Fast gate: the default (adaptive simplification) and no_simplify solve
-# paths must agree on every verdict of the smoke subset, so solver
-# performance work can never silently flip a verdict. Exits non-zero on any
-# mismatch; writes no JSON.
+echo "==> bench smoke: solver_stats --smoke (search + simplification verdict agreement, k=1 subset)"
+# Fast gate: the default (adaptive simplification, all search features on),
+# no_simplify and baseline-search (plain Luby loop — no EMA restarts,
+# rephasing, chronological backtracking or vivification) solve paths must
+# agree on every verdict of the smoke subset, so solver performance work can
+# never silently flip a verdict. Exits non-zero on any mismatch; writes no
+# JSON.
 cargo run --release -q -p bench --bin solver_stats -- --smoke
 
 echo "==> bench smoke: trace_report --smoke (telemetry trace, k=1 query)"
@@ -73,6 +75,9 @@ if [ "$full" -eq 1 ]; then
 
   echo "==> full: instance-registry sweep + fuzz-witness reproduction (--ignored, release)"
   cargo test --release -q -p upec --test scenario_instances -- --ignored
+
+  echo "==> full: clause-sharing differential over the whole instance registry (--ignored, release)"
+  cargo test --release -q -p upec --test clause_sharing_differential -- --ignored
 
   echo "==> full: certified registry sweep (--ignored, release)"
   cargo test --release -q -p upec --test certificates -- --ignored
