@@ -88,7 +88,9 @@ fn measure(spec: &ScenarioSpec, k: usize) -> Result<Row, String> {
     // Logging session: solve the same query and package the verdict.
     let mut session = IncrementalSession::with_options(&model, options);
     let start = Instant::now();
-    let (outcome, certificate) = session.check_bound_certified(k, &commitment);
+    let (outcome, certificate) = session
+        .check_bound_certified(k, &commitment)
+        .map_err(|e| format!("{}: certified query failed: {e}", spec.id))?;
     let certify_seconds = start.elapsed().as_secs_f64();
 
     for (name, other) in [

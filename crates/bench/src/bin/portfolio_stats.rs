@@ -1,0 +1,403 @@
+//! Measures the deterministic portfolio scheduler (`upec::portfolio`)
+//! against the single-configuration solving path on registry scenarios.
+//!
+//! For every scenario the same query — bound `k`, the scenario's commitment
+//! — is solved twice: once on a plain [`IncrementalSession`] under the
+//! default [`sat::SearchConfig`], and once as a portfolio race over the
+//! three member configurations (default / baseline / aggressive-restart)
+//! time-sliced on one core with geometrically growing conflict budgets.
+//! Verdicts must agree; the run exits non-zero on any mismatch.
+//!
+//! Results are printed as a table and written to `BENCH_portfolio.json`:
+//! per scenario the winner configuration, the slice count, the
+//! budget-exhaustion and cancellation counters, and both wall times;
+//! in aggregate the portfolio/single time ratio (the acceptance gate keeps
+//! it within 1.05× on the registry at k=2) and the winner histogram across
+//! all scenarios.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin portfolio_stats                # registry at k=2
+//! cargo run --release -p bench --bin portfolio_stats -- orc meltdown
+//! cargo run --release -p bench --bin portfolio_stats -- --k 3 orc
+//! cargo run --release -p bench --bin portfolio_stats -- --out /tmp/p.json
+//! cargo run --release -p bench --bin portfolio_stats -- --smoke    # CI smoke gate
+//! ```
+//!
+//! `--smoke` is the fast CI gate wired into `scripts/verify.sh`: it runs a
+//! three-scenario subset at k=1, asserts that the portfolio verdict matches
+//! the single-configuration verdict on every scenario, and runs every race
+//! **twice**, asserting that the two runs' deterministic records (slices,
+//! budgets, winner, member stats) are byte-identical. It writes no JSON.
+
+use bench::json::JsonObject;
+use std::time::Instant;
+use upec::engine::IncrementalSession;
+use upec::portfolio::{self, PortfolioOptions, PortfolioReport};
+use upec::scenarios::{self, ScenarioSpec};
+use upec::UpecOptions;
+
+/// Scenario subset exercised by `--smoke` (same as `solver_stats`): one
+/// P-alerting miter and two proven ones, all cheap at k=1.
+const SMOKE_IDS: [&str; 3] = ["meltdown", "orc", "secure-arch-only"];
+
+fn stop_name(stop: Option<sat::StopCause>) -> &'static str {
+    match stop {
+        None => "decided",
+        Some(sat::StopCause::BudgetExhausted) => "budget",
+        Some(sat::StopCause::Cancelled) => "cancelled",
+        Some(sat::StopCause::ConflictLimit) => "conflict-limit",
+    }
+}
+
+/// The byte-reproducible footprint of a race: everything in the report that
+/// the determinism contract covers (no wall-clock anywhere). Two runs of the
+/// same query must render identical strings — the smoke gate compares these
+/// bytes directly.
+fn deterministic_record(spec_id: &str, k: usize, report: &PortfolioReport) -> String {
+    let slices: Vec<String> = report
+        .slices
+        .iter()
+        .map(|s| {
+            JsonObject::new()
+                .field_usize("slice", s.slice)
+                .field_str("config", s.config)
+                .field_u64("budget", s.budget)
+                .field_u64("conflicts", s.conflicts)
+                .field_str("stop", stop_name(s.stop))
+                .finish()
+        })
+        .collect();
+    let members: Vec<String> = report
+        .member_stats
+        .iter()
+        .map(|(name, stats)| {
+            JsonObject::new()
+                .field_str("config", name)
+                .field_u64("conflicts", stats.conflicts)
+                .field_u64("propagations", stats.propagations)
+                .field_u64("budget_exhaustions", stats.budget_exhaustions)
+                .field_u64("cancellations", stats.cancellations)
+                .finish()
+        })
+        .collect();
+    JsonObject::new()
+        .field_str("id", spec_id)
+        .field_usize("k", k)
+        .field_str("verdict", report.outcome.verdict_name())
+        .field_str("winner", report.winner.unwrap_or("none"))
+        .field_u64("portfolio_slices", report.slices.len() as u64)
+        .field_u64("budget_exhaustions", report.budget_exhaustions)
+        .field_u64("cancellations", report.cancellations)
+        .field_raw("slices", &format!("[{}]", slices.join(", ")))
+        .field_raw("members", &format!("[{}]", members.join(", ")))
+        .finish()
+}
+
+struct Row {
+    spec: ScenarioSpec,
+    single_verdict: &'static str,
+    single_seconds: f64,
+    portfolio_seconds: f64,
+    record: String,
+    winner: Option<&'static str>,
+    slices: usize,
+    budget_exhaustions: u64,
+    cancellations: u64,
+    verdict: &'static str,
+}
+
+fn measure(spec: &ScenarioSpec, k: usize, smoke: bool) -> Row {
+    let model = spec.build_model();
+    let commitment = spec.commitment_set(&model);
+
+    let mut single = IncrementalSession::with_options(&model, UpecOptions::window(k));
+    let start = Instant::now();
+    let single_outcome = single.check_bound(k, &commitment);
+    let single_seconds = start.elapsed().as_secs_f64();
+
+    let mut options = PortfolioOptions::new(UpecOptions::window(k));
+    if smoke {
+        // The default first slice decides every smoke query outright; shrink
+        // it so the determinism gate exercises genuine multi-slice,
+        // multi-member schedules.
+        options = options.with_initial_conflicts(64);
+    }
+    let start = Instant::now();
+    let report = portfolio::solve_portfolio(&model, k, &commitment, options, None);
+    let portfolio_seconds = start.elapsed().as_secs_f64();
+
+    Row {
+        spec: *spec,
+        single_verdict: single_outcome.verdict_name(),
+        single_seconds,
+        portfolio_seconds,
+        record: deterministic_record(spec.id, k, &report),
+        winner: report.winner,
+        slices: report.slices.len(),
+        budget_exhaustions: report.budget_exhaustions,
+        cancellations: report.cancellations,
+        verdict: report.outcome.verdict_name(),
+    }
+}
+
+fn json_entry(row: &Row, k: usize) -> String {
+    let entry = JsonObject::new()
+        .field_str("id", row.spec.id)
+        .field_usize("k", k)
+        .field_str("verdict", row.verdict)
+        .field_str("winner", row.winner.unwrap_or("none"))
+        .field_u64("portfolio_slices", row.slices as u64)
+        .field_u64("budget_exhaustions", row.budget_exhaustions)
+        .field_u64("cancellations", row.cancellations)
+        .field_f64("single_seconds", row.single_seconds, 3)
+        .field_f64("portfolio_seconds", row.portfolio_seconds, 3)
+        .finish();
+    format!("    {entry}")
+}
+
+/// Winner histogram over all rows, in member-configuration order.
+fn winner_histogram(rows: &[Row]) -> String {
+    let mut histogram = JsonObject::new();
+    for (name, _) in portfolio::member_configs() {
+        let count = rows.iter().filter(|r| r.winner == Some(name)).count();
+        histogram = histogram.field_usize(name, count);
+    }
+    histogram.finish()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut ids: Vec<String> = Vec::new();
+    let mut k_override: Option<usize> = None;
+    let mut out_path = "BENCH_portfolio.json".to_string();
+    let mut smoke = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--k" => {
+                let parsed = args.next().and_then(|v| v.parse().ok());
+                let Some(k) = parsed else {
+                    eprintln!("--k needs a numeric value");
+                    std::process::exit(2);
+                };
+                k_override = Some(k);
+            }
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                };
+                out_path = path;
+            }
+            "--smoke" => smoke = true,
+            id => ids.push(id.to_string()),
+        }
+    }
+    if smoke && ids.is_empty() {
+        ids = SMOKE_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    if ids.is_empty() {
+        ids = scenarios::all().iter().map(|s| s.id.to_string()).collect();
+    }
+    let k = k_override.unwrap_or(if smoke { 1 } else { 2 });
+
+    println!(
+        "{:<18} {:>2}  {:>8} {:>7} {:>6} {:>6}  {:>9} {:>9}  {:<18} verdict",
+        "scenario", "k", "slices", "exh", "cancel", "", "single", "race", "winner"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    let mut ok = true;
+    for id in &ids {
+        let spec = scenarios::by_id(id).unwrap_or_else(|| {
+            eprintln!("unknown scenario `{id}`; known ids:");
+            for s in scenarios::all() {
+                eprintln!("  {}", s.id);
+            }
+            std::process::exit(2);
+        });
+        let row = measure(&spec, k, smoke);
+        if row.verdict != row.single_verdict {
+            ok = false;
+            eprintln!(
+                "VERDICT MISMATCH on {}: single={} portfolio={}",
+                spec.id, row.single_verdict, row.verdict
+            );
+        }
+        if smoke {
+            // Byte-reproducibility gate: the second race of the same query
+            // must produce an identical deterministic record.
+            let again = measure(&spec, k, smoke);
+            if again.record != row.record {
+                ok = false;
+                eprintln!(
+                    "DETERMINISM VIOLATION on {}:\n  first:  {}\n  second: {}",
+                    spec.id, row.record, again.record
+                );
+            }
+        }
+        println!(
+            "{:<18} {:>2}  {:>8} {:>7} {:>6} {:>6}  {:>8.2}s {:>8.2}s  {:<18} {} / {}",
+            row.spec.id,
+            k,
+            row.slices,
+            row.budget_exhaustions,
+            row.cancellations,
+            "",
+            row.single_seconds,
+            row.portfolio_seconds,
+            row.winner.unwrap_or("none"),
+            row.single_verdict,
+            row.verdict,
+        );
+        rows.push(row);
+    }
+
+    let total_single: f64 = rows.iter().map(|r| r.single_seconds).sum();
+    let total_portfolio: f64 = rows.iter().map(|r| r.portfolio_seconds).sum();
+    let ratio = total_portfolio / total_single.max(1e-9);
+    println!(
+        "\naggregate solve time: single {total_single:.2}s, portfolio {total_portfolio:.2}s \
+         ({ratio:.2}x)"
+    );
+    if !smoke && ratio > 1.05 {
+        println!("note: portfolio exceeded the 1.05x acceptance envelope on this machine");
+    }
+    if smoke {
+        // The smoke gate is a verdict/determinism check, not a measurement:
+        // never overwrite the tracked bench JSON from here.
+        if ok {
+            println!(
+                "smoke: portfolio verdicts agree with the single-configuration path and \
+                 races are byte-reproducible"
+            );
+        } else {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"portfolio_stats\",\n  \"unit\": \"slices, episodes, seconds\",\n  \
+         \"aggregate\": {{\"single_seconds\": {total_single:.3}, \"portfolio_seconds\": \
+         {total_portfolio:.3}, \"ratio\": {ratio:.2}, \"winner_histogram\": {}}},\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        winner_histogram(&rows),
+        rows.iter()
+            .map(|r| json_entry(r, k))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upec::{PortfolioReport, SliceRecord, UpecOutcome, UpecStats};
+
+    fn sample_report() -> PortfolioReport {
+        PortfolioReport {
+            outcome: UpecOutcome::Proven(UpecStats::default()),
+            winner: Some("default"),
+            slices: vec![
+                SliceRecord {
+                    slice: 0,
+                    config: "default",
+                    budget: 256,
+                    conflicts: 256,
+                    stop: Some(sat::StopCause::BudgetExhausted),
+                },
+                SliceRecord {
+                    slice: 1,
+                    config: "baseline",
+                    budget: 300,
+                    conflicts: 12,
+                    stop: None,
+                },
+            ],
+            member_stats: vec![
+                ("default", sat::SolverStats::default()),
+                ("baseline", sat::SolverStats::default()),
+                ("aggressive-restart", sat::SolverStats::default()),
+            ],
+            budget_exhaustions: 1,
+            cancellations: 0,
+            exported_clauses: 0,
+        }
+    }
+
+    fn sample_row() -> Row {
+        let spec = scenarios::by_id("orc").expect("registered scenario");
+        Row {
+            spec,
+            single_verdict: "proven",
+            single_seconds: 1.0,
+            portfolio_seconds: 1.02,
+            record: deterministic_record(spec.id, 2, &sample_report()),
+            winner: Some("default"),
+            slices: 2,
+            budget_exhaustions: 1,
+            cancellations: 0,
+            verdict: "proven",
+        }
+    }
+
+    /// Schema regression: every `BENCH_portfolio.json` scenario entry carries
+    /// the portfolio counters (`portfolio_slices`, `budget_exhaustions`,
+    /// `cancellations`, `winner`) and parses through the bench JSON
+    /// validator. Downstream trajectory tooling keys on these field names.
+    #[test]
+    fn entry_schema_carries_portfolio_counters() {
+        let entry = json_entry(&sample_row(), 2);
+        bench::json::validate(entry.trim()).expect("entry is valid JSON");
+        for field in [
+            "\"id\": ",
+            "\"winner\": \"default\"",
+            "\"portfolio_slices\": 2",
+            "\"budget_exhaustions\": 1",
+            "\"cancellations\": 0",
+            "\"single_seconds\": ",
+            "\"portfolio_seconds\": ",
+        ] {
+            assert!(entry.contains(field), "entry lost field {field}: {entry}");
+        }
+        // Field order is part of the tracked-diff contract.
+        let winner = entry.find("\"winner\"").expect("present");
+        let slices = entry.find("\"portfolio_slices\"").expect("present");
+        let exhaustions = entry.find("\"budget_exhaustions\"").expect("present");
+        let cancellations = entry.find("\"cancellations\"").expect("present");
+        assert!(
+            winner < slices && slices < exhaustions && exhaustions < cancellations,
+            "stable field order violated: {entry}"
+        );
+    }
+
+    /// The winner histogram covers every member configuration by name.
+    #[test]
+    fn winner_histogram_names_every_member() {
+        let histogram = winner_histogram(&[sample_row()]);
+        bench::json::validate(&histogram).expect("histogram is valid JSON");
+        for (name, _) in portfolio::member_configs() {
+            assert!(
+                histogram.contains(&format!("\"{name}\": ")),
+                "histogram lost member {name}: {histogram}"
+            );
+        }
+        assert!(histogram.contains("\"default\": 1"), "{histogram}");
+    }
+
+    /// The deterministic record excludes wall-clock entirely — the byte-match
+    /// smoke gate depends on it.
+    #[test]
+    fn deterministic_record_is_wall_clock_free() {
+        let record = deterministic_record("orc", 2, &sample_report());
+        bench::json::validate(&record).expect("record is valid JSON");
+        assert!(!record.contains("seconds"), "{record}");
+        assert!(record.contains("\"stop\": \"budget\""), "{record}");
+        assert!(record.contains("\"stop\": \"decided\""), "{record}");
+    }
+}

@@ -66,6 +66,8 @@ struct Measurement {
     rephasings: u64,
     vivified_clauses: u64,
     shared_clause_imports: u64,
+    budget_exhaustions: u64,
+    cancellations: u64,
 }
 
 fn measure(spec: &ScenarioSpec, k: usize, no_simplify: bool, baseline_search: bool) -> Measurement {
@@ -99,6 +101,8 @@ fn measure(spec: &ScenarioSpec, k: usize, no_simplify: bool, baseline_search: bo
         rephasings: solver.rephasings,
         vivified_clauses: solver.vivified_clauses,
         shared_clause_imports: solver.shared_clause_imports,
+        budget_exhaustions: solver.budget_exhaustions,
+        cancellations: solver.cancellations,
     }
 }
 
@@ -123,6 +127,8 @@ fn json_entry(
             .field_u64("rephasings", m.rephasings)
             .field_u64("vivified_clauses", m.vivified_clauses)
             .field_u64("shared_clause_imports", m.shared_clause_imports)
+            .field_u64("budget_exhaustions", m.budget_exhaustions)
+            .field_u64("cancellations", m.cancellations)
             .finish()
     };
     let entry = JsonObject::new()
@@ -287,6 +293,8 @@ mod tests {
             rephasings: 2,
             vivified_clauses: 9,
             shared_clause_imports: 11,
+            budget_exhaustions: 4,
+            cancellations: 1,
         }
     }
 
@@ -307,6 +315,8 @@ mod tests {
             "\"rephasings\": 2",
             "\"vivified_clauses\": 9",
             "\"shared_clause_imports\": 11",
+            "\"budget_exhaustions\": 4",
+            "\"cancellations\": 1",
             "\"speedup\": ",
         ] {
             assert!(entry.contains(field), "entry lost field {field}: {entry}");
@@ -326,8 +336,13 @@ mod tests {
         let failed = entry.find("\"failed_literals\"").expect("present");
         let restarts = entry.find("\"restarts\"").expect("present");
         let imports = entry.find("\"shared_clause_imports\"").expect("present");
+        let exhaustions = entry.find("\"budget_exhaustions\"").expect("present");
+        let cancellations = entry.find("\"cancellations\"").expect("present");
         assert!(
-            failed < restarts && restarts < imports,
+            failed < restarts
+                && restarts < imports
+                && imports < exhaustions
+                && exhaustions < cancellations,
             "stable field order violated: {entry}"
         );
     }

@@ -30,6 +30,16 @@ pub struct UnrollOptions {
     /// Optional conflict budget handed to the SAT solver; `None` means solve
     /// to completion.
     pub conflict_limit: Option<u64>,
+    /// Deterministic resource budget for each [`Unrolling::solve`] call
+    /// (conflicts / propagations / decisions; see [`sat::Budget`]). Unlike
+    /// [`UnrollOptions::conflict_limit`] — which caps each *solver episode*
+    /// — the budget covers the whole call including the trial solve and the
+    /// post-simplification full solve: the remainder is threaded through
+    /// the pipeline, and an exhausted call answers
+    /// [`SatResult::Unknown`] with
+    /// [`sat::StopCause::BudgetExhausted`] while keeping the session
+    /// resumable. Unlimited by default.
+    pub budget: sat::Budget,
     /// When `true`, bypass the transition-relation compiler and encode every
     /// netlist signal in every frame (the pre-compiler baseline). Used by
     /// benchmarks and differential tests; real proofs keep this `false`.
@@ -69,6 +79,7 @@ impl Default for UnrollOptions {
         Self {
             use_initial_values: false,
             conflict_limit: None,
+            budget: sat::Budget::unlimited(),
             eager_encoding: false,
             no_simplify: false,
             simplify_trial_conflicts: 4000,
@@ -95,6 +106,13 @@ impl UnrollOptions {
     /// Sets the solver conflict budget.
     pub fn with_conflict_limit(mut self, limit: Option<u64>) -> Self {
         self.conflict_limit = limit;
+        self
+    }
+
+    /// Sets the deterministic per-call resource budget (see
+    /// [`UnrollOptions::budget`]).
+    pub fn with_budget(mut self, budget: sat::Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -1152,6 +1170,41 @@ impl<'n> Unrolling<'n> {
         self.gates.solver_mut().set_interrupt(flag);
     }
 
+    /// Replaces the deterministic per-call resource budget (see
+    /// [`UnrollOptions::budget`]); takes effect from the next
+    /// [`Unrolling::solve`] call.
+    pub fn set_budget(&mut self, budget: sat::Budget) {
+        self.options.budget = budget;
+    }
+
+    /// The deterministic per-call resource budget currently in force.
+    pub fn budget(&self) -> sat::Budget {
+        self.options.budget
+    }
+
+    /// Installs (or removes) a cooperative [`sat::CancelToken`] on the
+    /// underlying solver; raising it makes an in-flight
+    /// [`Unrolling::solve`] return [`SatResult::Unknown`] at the next
+    /// restart boundary, with [`Unrolling::last_stop`] reporting
+    /// [`sat::StopCause::Cancelled`].
+    pub fn set_cancel_token(&mut self, token: Option<sat::CancelToken>) {
+        self.gates.solver_mut().set_cancel_token(token);
+    }
+
+    /// Why the most recent solver episode stopped early (`None` after a
+    /// definitive sat/unsat answer). See [`sat::Solver::last_stop`].
+    pub fn last_stop(&self) -> Option<sat::StopCause> {
+        self.gates.solver().last_stop()
+    }
+
+    /// Arms a one-shot deterministic fault on the underlying solver (see
+    /// [`sat::Solver::inject_fault`]). Compiled only under the `faults`
+    /// feature (which forwards to `sat/faults`).
+    #[cfg(feature = "faults")]
+    pub fn inject_fault(&mut self, plan: Option<sat::faults::FaultPlan>) {
+        self.gates.solver_mut().inject_fault(plan);
+    }
+
     /// Runs the SAT solver under the given assumption literals.
     ///
     /// Unless [`UnrollOptions::no_simplify`] is set, the incremental-safe
@@ -1166,6 +1219,8 @@ impl<'n> Unrolling<'n> {
     /// trial learned.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
         let user_limit = self.options.conflict_limit;
+        let budget = self.options.budget;
+        self.gates.solver_mut().set_budget(budget);
         if self.options.no_simplify || !self.simplification_due() {
             return self.gates.solver_mut().solve_with_assumptions(assumptions);
         }
@@ -1174,7 +1229,7 @@ impl<'n> Unrolling<'n> {
         let trial = self.options.simplify_trial_conflicts;
         let trial_limit = user_limit.map_or(trial, |l| l.min(trial));
         let solver = self.gates.solver_mut();
-        let conflicts_before = solver.stats().conflicts;
+        let stats_before = solver.stats();
         solver.set_conflict_limit(Some(trial_limit));
         let result = {
             let mut span = obs::span("bmc.trial_solve");
@@ -1182,9 +1237,23 @@ impl<'n> Unrolling<'n> {
             solver.solve_with_assumptions(assumptions)
         };
         solver.set_conflict_limit(user_limit);
-        let spent = solver.stats().conflicts.saturating_sub(conflicts_before);
+        let spent = solver
+            .stats()
+            .conflicts
+            .saturating_sub(stats_before.conflicts);
         let user_exhausted = user_limit.is_some_and(|l| spent >= l);
-        if !matches!(result, SatResult::Unknown) || user_exhausted || solver.interrupt_raised() {
+        // A budget-exhausted or cancelled trial already is the honest answer
+        // for this call: skip the pipeline and let the caller inspect
+        // `last_stop` (the session stays resumable).
+        let stopped_early = matches!(
+            solver.last_stop(),
+            Some(sat::StopCause::BudgetExhausted | sat::StopCause::Cancelled)
+        );
+        if !matches!(result, SatResult::Unknown)
+            || user_exhausted
+            || stopped_early
+            || solver.interrupt_raised()
+        {
             return result;
         }
 
@@ -1201,8 +1270,14 @@ impl<'n> Unrolling<'n> {
         if let Some(limit) = user_limit {
             solver.set_conflict_limit(Some(limit.saturating_sub(spent).max(1)));
         }
+        // Charge the trial episode plus the simplification/vivification work
+        // against the per-call budget, so the whole call — not each episode —
+        // respects it. An already-exhausted remainder stops the full solve at
+        // its first checkpoint with `StopCause::BudgetExhausted`.
+        solver.set_budget(budget.minus(&solver.stats().delta_since(&stats_before)));
         let result = solver.solve_with_assumptions(assumptions);
         solver.set_conflict_limit(user_limit);
+        solver.set_budget(budget);
         result
     }
 

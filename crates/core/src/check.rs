@@ -15,6 +15,13 @@ pub struct UpecOptions {
     /// Optional SAT conflict budget; exceeded budgets yield
     /// [`UpecOutcome::Unknown`] (the paper's "not feasible" windows).
     pub conflict_limit: Option<u64>,
+    /// Deterministic per-query resource budget (conflicts / propagations /
+    /// decisions; see [`sat::Budget`]). Unlike `conflict_limit` — which caps
+    /// each solver episode — the budget covers each whole `check_bound`
+    /// call; exhausted queries answer [`UpecOutcome::Unknown`] with the stop
+    /// cause recorded in [`UpecStats::stop`], and the session stays
+    /// resumable. Unlimited by default.
+    pub budget: sat::Budget,
     /// Use the registers' reset values instead of a symbolic initial state
     /// (only used by the ablation study; real UPEC runs keep this `false`).
     pub from_reset_state: bool,
@@ -46,6 +53,7 @@ impl UpecOptions {
         Self {
             window: k,
             conflict_limit: None,
+            budget: sat::Budget::unlimited(),
             from_reset_state: false,
             eager_encoding: false,
             no_simplify: false,
@@ -58,6 +66,13 @@ impl UpecOptions {
     /// Sets the SAT conflict budget.
     pub fn with_conflict_limit(mut self, limit: Option<u64>) -> Self {
         self.conflict_limit = limit;
+        self
+    }
+
+    /// Sets the deterministic per-query resource budget (see
+    /// [`UpecOptions::budget`]).
+    pub fn with_budget(mut self, budget: sat::Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -158,6 +173,12 @@ pub struct UpecStats {
     pub runtime: Duration,
     /// Window length checked.
     pub window: usize,
+    /// Why the query's final solver episode stopped early: `None` for
+    /// decided queries, [`sat::StopCause::BudgetExhausted`] /
+    /// [`sat::StopCause::Cancelled`] / [`sat::StopCause::ConflictLimit`]
+    /// behind an [`UpecOutcome::Unknown`]. This is how budget exhaustion
+    /// propagates honestly from the solver to scan verdicts and reports.
+    pub stop: Option<sat::StopCause>,
 }
 
 /// Verdict of one UPEC property check.

@@ -24,10 +24,12 @@
 //!   windows), with per-scenario expectation checking against the
 //!   [scenario registry](crate::scenarios).
 
+mod error;
 mod scheduler;
 mod session;
 mod share;
 
+pub use error::EngineError;
 pub use scheduler::{
     BoundStatus, BoundSummary, CertifiedBound, CertifiedResult, EngineOptions, EngineReport,
     InstanceResult, ScanVerdict, ScenarioResult, UpecEngine,

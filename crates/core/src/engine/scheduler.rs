@@ -1,7 +1,7 @@
 //! The parallel scenario/bound scheduler built on incremental sessions.
 
 use crate::certify::{CertificateCheck, CertificateError, VerdictCertificate};
-use crate::engine::{IncrementalSession, SharedClausePool};
+use crate::engine::{EngineError, IncrementalSession, SharedClausePool};
 use crate::scenarios::{Expectation, ScenarioInstance, ScenarioSpec};
 use crate::{Alert, AlertKind, UpecModel, UpecOptions, UpecOutcome};
 use std::collections::{BTreeSet, VecDeque};
@@ -20,6 +20,17 @@ pub struct EngineOptions {
     pub max_window: Option<usize>,
     /// Optional per-query SAT conflict budget.
     pub conflict_limit: Option<u64>,
+    /// Deterministic resource budget of each bound's query (see
+    /// [`sat::Budget`]); an exhausted bound is recorded as
+    /// [`BoundStatus::Unknown`] and never invents a verdict. Unlimited by
+    /// default.
+    pub bound_budget: sat::Budget,
+    /// Deterministic resource budget of one whole scenario stripe: the spend
+    /// of every bound accumulates against it, each bound runs under the
+    /// remainder (intersected with `bound_budget`), and bounds reached after
+    /// exhaustion are recorded as [`BoundStatus::Unknown`] without solving.
+    /// Unlimited by default.
+    pub scenario_budget: sat::Budget,
     /// Number of bound stripes per scenario. With `n > 1` stripes, a
     /// scenario's windows are dealt round-robin onto `n` independent
     /// incremental sessions that race in parallel; the first L-alert cancels
@@ -40,9 +51,23 @@ impl EngineOptions {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
             max_window: None,
             conflict_limit: None,
+            bound_budget: sat::Budget::unlimited(),
+            scenario_budget: sat::Budget::unlimited(),
             stripes: 1,
             share_clauses: true,
         }
+    }
+
+    /// Sets the per-bound resource budget (builder style).
+    pub fn with_bound_budget(mut self, budget: sat::Budget) -> Self {
+        self.bound_budget = budget;
+        self
+    }
+
+    /// Sets the per-scenario-stripe resource budget (builder style).
+    pub fn with_scenario_budget(mut self, budget: sat::Budget) -> Self {
+        self.scenario_budget = budget;
+        self
     }
 
     /// Sets the worker-thread count (builder style).
@@ -146,6 +171,12 @@ pub struct ScenarioResult {
     pub conflicts: u64,
     /// Total unit propagations across all stripes of this scenario.
     pub propagations: u64,
+    /// Solver episodes stopped by an exhausted [`sat::Budget`] across all
+    /// stripes (zero unless the engine ran with a bound or scenario budget).
+    pub budget_exhaustions: u64,
+    /// Solver episodes stopped by cancellation (a raised interrupt or
+    /// [`sat::CancelToken`]) across all stripes.
+    pub cancellations: u64,
 }
 
 impl ScenarioResult {
@@ -243,6 +274,8 @@ struct StripeOutcome {
     first_alert: Option<Alert>,
     conflicts: u64,
     propagations: u64,
+    budget_exhaustions: u64,
+    cancellations: u64,
 }
 
 /// The parallel, incremental UPEC checking engine.
@@ -408,6 +441,7 @@ impl UpecEngine {
             .options
             .max_window
             .map_or(max_window, |m| m.min(max_window));
+        let scan_start = session.solver_stats();
         let mut bounds = Vec::new();
         let mut first_alert: Option<Alert> = None;
         for k in (start_window..=max).filter(|k| (k - start_window) % stride == stripe) {
@@ -422,6 +456,27 @@ impl UpecEngine {
                 });
                 continue;
             }
+            // Budget policy: each bound runs under its own budget intersected
+            // with whatever the scenario budget has left; once the stripe's
+            // allotment is spent, remaining bounds are recorded as Unknown
+            // without even encoding them. The scan never invents a verdict.
+            let scenario_left = self
+                .options
+                .scenario_budget
+                .minus(&session.solver_stats().delta_since(&scan_start));
+            if scenario_left.is_exhausted() {
+                obs::counter("upec.scan.budget_skipped_bounds", 1);
+                bounds.push(BoundSummary {
+                    bound: k,
+                    status: BoundStatus::Unknown,
+                    conflicts: 0,
+                    runtime: Duration::ZERO,
+                    variables: 0,
+                    clauses: 0,
+                });
+                continue;
+            }
+            session.set_budget(self.options.bound_budget.min(scenario_left));
             if let (Some(pool), Some(fp)) = (pool, fingerprint) {
                 let (batch, next) = pool.fetch(fp, share_cursor);
                 share_cursor = next;
@@ -439,7 +494,13 @@ impl UpecEngine {
             let (status, stats) = match session.check_bound(k, commitment) {
                 UpecOutcome::Proven(s) => (BoundStatus::Proven, s),
                 UpecOutcome::Unknown(s) => {
-                    let status = if cancel.load(Ordering::Relaxed) {
+                    // The solver reports *why* it stopped; only genuine
+                    // cancellations (a sibling stripe's L-alert, a raised
+                    // token) count as Cancelled — exhausted budgets and
+                    // conflict limits stay Unknown.
+                    let cancelled = cancel.load(Ordering::Relaxed)
+                        || matches!(s.stop, Some(sat::StopCause::Cancelled));
+                    let status = if cancelled {
                         BoundStatus::Cancelled
                     } else {
                         BoundStatus::Unknown
@@ -487,6 +548,8 @@ impl UpecEngine {
             first_alert,
             conflicts: stats.conflicts,
             propagations: stats.propagations,
+            budget_exhaustions: stats.budget_exhaustions,
+            cancellations: stats.cancellations,
         }
     }
 }
@@ -515,10 +578,14 @@ fn aggregate(spec: ScenarioSpec, stripes: Vec<StripeOutcome>) -> ScenarioResult 
     let mut first_alert: Option<Alert> = None;
     let mut conflicts = 0;
     let mut propagations = 0;
+    let mut budget_exhaustions = 0;
+    let mut cancellations = 0;
     for stripe in stripes {
         bounds.extend(stripe.bounds);
         conflicts += stripe.conflicts;
         propagations += stripe.propagations;
+        budget_exhaustions += stripe.budget_exhaustions;
+        cancellations += stripe.cancellations;
         if let Some(alert) = stripe.first_alert {
             let better = first_alert
                 .as_ref()
@@ -537,6 +604,8 @@ fn aggregate(spec: ScenarioSpec, stripes: Vec<StripeOutcome>) -> ScenarioResult 
         bounds,
         conflicts,
         propagations,
+        budget_exhaustions,
+        cancellations,
     }
 }
 
@@ -555,6 +624,11 @@ pub struct InstanceResult {
     pub conflicts: u64,
     /// Total unit propagations of the scan.
     pub propagations: u64,
+    /// Solver episodes stopped by an exhausted [`sat::Budget`] during the
+    /// scan (zero unless the engine ran with a bound or scenario budget).
+    pub budget_exhaustions: u64,
+    /// Solver episodes stopped by cancellation during the scan.
+    pub cancellations: u64,
 }
 
 impl InstanceResult {
@@ -702,6 +776,8 @@ impl UpecEngine {
                         bounds: outcome.bounds,
                         conflicts: outcome.conflicts,
                         propagations: outcome.propagations,
+                        budget_exhaustions: outcome.budget_exhaustions,
+                        cancellations: outcome.cancellations,
                     });
                 });
             }
@@ -732,6 +808,7 @@ impl UpecEngine {
         let commitment = instance.commitment_set(&model);
         let options = UpecOptions::window(0)
             .with_conflict_limit(self.options.conflict_limit)
+            .with_budget(self.options.bound_budget)
             .with_certificates();
         let mut session = IncrementalSession::with_options(&model, options);
         let max = self
@@ -740,17 +817,34 @@ impl UpecEngine {
             .map_or(instance.max_window, |m| m.min(instance.max_window));
         let mut bounds = Vec::new();
         for k in instance.start_window..=max {
-            let (outcome, certificate) = session.check_bound_certified(k, &commitment);
-            let (status, stats) = match &outcome {
-                UpecOutcome::Proven(s) => (BoundStatus::Proven, *s),
-                UpecOutcome::Unknown(s) => (BoundStatus::Unknown, *s),
-                UpecOutcome::Violated(alert, s) => (
-                    match alert.kind {
-                        AlertKind::PAlert => BoundStatus::PAlert,
-                        AlertKind::LAlert => BoundStatus::LAlert,
-                    },
-                    *s,
-                ),
+            let (status, stats, certificate) = match session.check_bound_certified(k, &commitment) {
+                Ok((outcome, certificate)) => {
+                    let (status, stats) = match &outcome {
+                        UpecOutcome::Proven(s) => (BoundStatus::Proven, *s),
+                        UpecOutcome::Violated(alert, s) => (
+                            match alert.kind {
+                                AlertKind::PAlert => BoundStatus::PAlert,
+                                AlertKind::LAlert => BoundStatus::LAlert,
+                            },
+                            *s,
+                        ),
+                        // Unknown outcomes surface as UncertifiableVerdict.
+                        UpecOutcome::Unknown(s) => (BoundStatus::Unknown, *s),
+                    };
+                    (status, stats, certificate)
+                }
+                // An undecided bound has no verdict and therefore no
+                // certificate; record it honestly and keep scanning — the
+                // session stays valid.
+                Err(EngineError::UncertifiableVerdict { stats, stop, .. }) => {
+                    let status = if matches!(stop, Some(sat::StopCause::Cancelled)) {
+                        BoundStatus::Cancelled
+                    } else {
+                        BoundStatus::Unknown
+                    };
+                    (status, stats, None)
+                }
+                Err(e) => panic!("certified scan of {}: {e}", instance.id()),
             };
             bounds.push(CertifiedBound {
                 summary: BoundSummary {

@@ -2,6 +2,7 @@
 
 use crate::certify::{UnsatCertificate, VerdictCertificate, WitnessCertificate};
 use crate::check::frame0_aliases;
+use crate::engine::EngineError;
 use crate::{
     Alert, AlertKind, RegisterPair, StateClass, UpecModel, UpecOptions, UpecOutcome, UpecStats,
 };
@@ -70,10 +71,31 @@ impl<'m> IncrementalSession<'m> {
 
     /// Opens a session honoring every knob of [`UpecOptions`] (the `window`
     /// field is ignored — bounds are chosen per query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a model constraint cannot be encoded; see
+    /// [`IncrementalSession::try_with_options`] for the non-panicking form.
     pub fn with_options(model: &'m UpecModel, options: UpecOptions) -> Self {
+        Self::try_with_options(model, options).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Opens a session honoring every knob of [`UpecOptions`], reporting
+    /// malformed model constraints as a typed [`EngineError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::MalformedConstraint`] when an initial or window
+    /// constraint of the model cannot be encoded on the unrolled miter.
+    pub fn try_with_options(
+        model: &'m UpecModel,
+        options: UpecOptions,
+    ) -> Result<Self, EngineError> {
         let unroll_options = UnrollOptions {
             use_initial_values: options.from_reset_state,
             conflict_limit: options.conflict_limit,
+            budget: options.budget,
             eager_encoding: options.eager_encoding,
             no_simplify: options.no_simplify,
             simplify_trial_conflicts: options.simplify_trial_conflicts,
@@ -93,21 +115,23 @@ impl<'m> IncrementalSession<'m> {
                 &aliases,
             )
         };
-        for constraint in model.initial_constraints() {
+        for constraint in model
+            .initial_constraints()
+            .iter()
+            .chain(model.window_constraints())
+        {
             unrolling
                 .assume_signal_true(0, constraint.signal)
-                .unwrap_or_else(|e| panic!("constraint `{}` malformed: {e}", constraint.label));
+                .map_err(|e| EngineError::MalformedConstraint {
+                    label: constraint.label.to_string(),
+                    reason: e.to_string(),
+                })?;
         }
-        for constraint in model.window_constraints() {
-            unrolling
-                .assume_signal_true(0, constraint.signal)
-                .unwrap_or_else(|e| panic!("constraint `{}` malformed: {e}", constraint.label));
-        }
-        Self {
+        Ok(Self {
             model,
             unrolling,
             constrained_through: 0,
-        }
+        })
     }
 
     /// The miter this session is solving.
@@ -121,6 +145,45 @@ impl<'m> IncrementalSession<'m> {
     /// losing workers.
     pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
         self.unrolling.set_interrupt(flag);
+    }
+
+    /// Replaces the deterministic per-query resource budget (conflicts /
+    /// propagations / decisions; see [`sat::Budget`]). The budget covers each
+    /// subsequent [`IncrementalSession::check_bound`] call as a whole; an
+    /// exhausted query answers [`UpecOutcome::Unknown`] with
+    /// [`IncrementalSession::last_stop`] reporting
+    /// [`sat::StopCause::BudgetExhausted`], and the session stays resumable —
+    /// re-checking the same bound under a larger budget continues from the
+    /// accumulated solver state.
+    pub fn set_budget(&mut self, budget: sat::Budget) {
+        self.unrolling.set_budget(budget);
+    }
+
+    /// The deterministic per-query resource budget currently in force.
+    pub fn budget(&self) -> sat::Budget {
+        self.unrolling.budget()
+    }
+
+    /// Installs (or removes) a cooperative [`sat::CancelToken`]: raising it
+    /// aborts the in-flight query with [`UpecOutcome::Unknown`] at the next
+    /// solver restart boundary. Used by the portfolio scheduler to stop
+    /// losing members without poisoning their sessions.
+    pub fn set_cancel_token(&mut self, token: Option<sat::CancelToken>) {
+        self.unrolling.set_cancel_token(token);
+    }
+
+    /// Why the most recent query's final solver episode stopped early
+    /// (`None` after a decided query). See [`sat::Solver::last_stop`].
+    pub fn last_stop(&self) -> Option<sat::StopCause> {
+        self.unrolling.last_stop()
+    }
+
+    /// Arms a one-shot deterministic fault on the session's solver (see
+    /// [`sat::Solver::inject_fault`]). Compiled only under the `faults`
+    /// feature.
+    #[cfg(feature = "faults")]
+    pub fn inject_fault(&mut self, plan: Option<sat::faults::FaultPlan>) {
+        self.unrolling.inject_fault(plan);
     }
 
     /// Lifetime solver statistics of the session (counters accumulate over
@@ -185,9 +248,28 @@ impl<'m> IncrementalSession<'m> {
     ///
     /// # Panics
     ///
-    /// Panics if the commitment is empty or names an unknown register.
+    /// Panics if the commitment is empty or names an unknown register; see
+    /// [`IncrementalSession::try_check_bound`] for the non-panicking form.
     pub fn check_bound(&mut self, k: usize, commitment: &BTreeSet<String>) -> UpecOutcome {
-        self.check_bound_inner(k, commitment, false).0
+        self.try_check_bound(k, commitment)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`IncrementalSession::check_bound`], but reports malformed
+    /// queries as a typed [`EngineError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyCommitment`] /
+    /// [`EngineError::UnknownRegister`] for malformed commitments,
+    /// [`EngineError::MalformedConstraint`] when a window constraint or
+    /// obligation signal cannot be encoded.
+    pub fn try_check_bound(
+        &mut self,
+        k: usize,
+        commitment: &BTreeSet<String>,
+    ) -> Result<UpecOutcome, EngineError> {
+        Ok(self.check_bound_inner(k, commitment, false)?.0)
     }
 
     /// Like [`IncrementalSession::check_bound`], but also packages the
@@ -198,25 +280,38 @@ impl<'m> IncrementalSession<'m> {
     ///   query's activation-literal assumption;
     /// * [`UpecOutcome::Violated`] ⇒ the SAT witness decoded into a concrete
     ///   per-cycle [`sim::WitnessTrace`] plus the divergences it must
-    ///   reproduce;
-    /// * [`UpecOutcome::Unknown`] ⇒ no certificate (there is no verdict to
-    ///   certify).
+    ///   reproduce.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics like [`IncrementalSession::check_bound`], and additionally if
-    /// the session was not opened with [`UpecOptions::with_certificates`]
-    /// (proven bounds need the proof log recording from the first clause on).
+    /// * [`EngineError::CertificationUnavailable`] if the session was not
+    ///   opened with [`UpecOptions::with_certificates`] (proven bounds need
+    ///   the proof log recording from the first clause on);
+    /// * [`EngineError::UncertifiableVerdict`] when the query stops without
+    ///   a verdict (budget exhausted or cancelled) — an undecided query must
+    ///   never emit a certificate. The error carries the effort spent and
+    ///   the stop cause; the session stays valid and the bound may be
+    ///   re-checked under a larger budget;
+    /// * the [`IncrementalSession::try_check_bound`] errors for malformed
+    ///   commitments.
     pub fn check_bound_certified(
         &mut self,
         k: usize,
         commitment: &BTreeSet<String>,
-    ) -> (UpecOutcome, Option<VerdictCertificate>) {
-        assert!(
-            self.unrolling.proof_log().is_some(),
-            "certified queries need a session opened with UpecOptions::with_certificates()"
-        );
-        self.check_bound_inner(k, commitment, true)
+    ) -> Result<(UpecOutcome, Option<VerdictCertificate>), EngineError> {
+        if self.unrolling.proof_log().is_none() {
+            return Err(EngineError::CertificationUnavailable);
+        }
+        let (outcome, certificate) = self.check_bound_inner(k, commitment, true)?;
+        if let UpecOutcome::Unknown(stats) = &outcome {
+            debug_assert!(certificate.is_none(), "an undecided query has no verdict");
+            return Err(EngineError::UncertifiableVerdict {
+                window: k,
+                stats: *stats,
+                stop: self.unrolling.last_stop(),
+            });
+        }
+        Ok((outcome, certificate))
     }
 
     fn check_bound_inner(
@@ -224,7 +319,7 @@ impl<'m> IncrementalSession<'m> {
         k: usize,
         commitment: &BTreeSet<String>,
         certify: bool,
-    ) -> (UpecOutcome, Option<VerdictCertificate>) {
+    ) -> Result<(UpecOutcome, Option<VerdictCertificate>), EngineError> {
         let start = Instant::now();
         let mut query_span = obs::span("upec.check_bound");
         query_span.attr_u64("window", k as u64);
@@ -238,15 +333,17 @@ impl<'m> IncrementalSession<'m> {
             for constraint in self.model.window_constraints() {
                 self.unrolling
                     .assume_signal_true(frame, constraint.signal)
-                    .unwrap_or_else(|e| panic!("constraint `{}` malformed: {e}", constraint.label));
+                    .map_err(|e| EngineError::MalformedConstraint {
+                        label: constraint.label.to_string(),
+                        reason: e.to_string(),
+                    })?;
             }
         }
 
         for name in commitment {
-            assert!(
-                self.model.pair(name).is_some(),
-                "commitment refers to unknown register `{name}`"
-            );
+            if self.model.pair(name).is_none() {
+                return Err(EngineError::UnknownRegister { name: name.clone() });
+            }
         }
         let committed: Vec<&RegisterPair> = self
             .model
@@ -254,18 +351,22 @@ impl<'m> IncrementalSession<'m> {
             .iter()
             .filter(|p| p.class != StateClass::Memory && commitment.contains(&p.name))
             .collect();
-        assert!(!committed.is_empty(), "commitment must not be empty");
+        if committed.is_empty() {
+            return Err(EngineError::EmptyCommitment);
+        }
 
         let obligation_lits: Vec<(String, sat::Lit)> = committed
             .iter()
             .map(|p| {
-                let lit = self
-                    .unrolling
-                    .bit_lit(k, p.equal)
-                    .expect("equality signals are single bits");
-                (p.name.clone(), lit)
+                let lit = self.unrolling.bit_lit(k, p.equal).map_err(|e| {
+                    EngineError::MalformedConstraint {
+                        label: format!("equality signal of `{}`", p.name),
+                        reason: e.to_string(),
+                    }
+                })?;
+                Ok((p.name.clone(), lit))
             })
-            .collect();
+            .collect::<Result<_, EngineError>>()?;
         let activation = self.unrolling.fresh_lit();
         self.unrolling
             .add_clause_activated(activation, obligation_lits.iter().map(|(_, l)| !*l));
@@ -284,6 +385,7 @@ impl<'m> IncrementalSession<'m> {
             arena_collections: delta.arena_collections,
             runtime: start.elapsed(),
             window: k,
+            stop: self.unrolling.last_stop(),
         };
 
         let mut certificate: Option<VerdictCertificate> = None;
@@ -361,7 +463,7 @@ impl<'m> IncrementalSession<'m> {
         query_span.attr_u64("propagations", delta.propagations);
         query_span.attr_u64("restarts", delta.restarts);
         query_span.attr_u64("arena_collections", delta.arena_collections);
-        (outcome, certificate)
+        Ok((outcome, certificate))
     }
 
     /// Decodes a SAT witness into a self-contained, name-based stimulus: the

@@ -33,6 +33,10 @@
 //! * the [`scenarios`] module — the named registry of every attack scenario
 //!   the reproduction checks, with paper references and expected verdicts,
 //!   shared by the engine, the bench binaries and the examples;
+//! * the [`portfolio`] module — a deterministic single-core portfolio
+//!   scheduler that time-slices several solver configurations on one query
+//!   under resumable [`sat::Budget`]s, first finisher wins (see
+//!   `docs/robustness.md`);
 //! * **checkable verdicts** — every query can be packaged as a
 //!   [`VerdictCertificate`]: proven bounds carry a trimmed DRAT refutation
 //!   replayed by the independent checker in [`sat::drat`], violated bounds
@@ -64,6 +68,7 @@ mod methodology;
 mod model;
 
 pub mod engine;
+pub mod portfolio;
 pub mod scenarios;
 
 pub use certify::{
@@ -73,11 +78,13 @@ pub use check::{
     full_commitment, Alert, AlertKind, UpecChecker, UpecOptions, UpecOutcome, UpecStats,
 };
 pub use engine::{
-    BoundStatus, BoundSummary, CertifiedBound, CertifiedResult, EngineOptions, EngineReport,
-    IncrementalSession, InstanceResult, ScanVerdict, ScenarioResult, SharedClausePool, UpecEngine,
+    BoundStatus, BoundSummary, CertifiedBound, CertifiedResult, EngineError, EngineOptions,
+    EngineReport, IncrementalSession, InstanceResult, ScanVerdict, ScenarioResult,
+    SharedClausePool, UpecEngine,
 };
 pub use methodology::{
     close_alert_set, prove_alert_closure, run_methodology, ClosureOutcome, MethodologyReport,
     Verdict,
 };
 pub use model::{NamedConstraint, RegisterPair, SecretScenario, StateClass, UpecModel};
+pub use portfolio::{solve_portfolio, PortfolioOptions, PortfolioReport, SliceRecord};

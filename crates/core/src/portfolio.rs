@@ -1,0 +1,431 @@
+//! A deterministic, single-core portfolio scheduler for one UPEC query.
+//!
+//! A portfolio runs the *same* query — one miter, one bound, one commitment
+//! — under several solver search configurations at once, because no single
+//! configuration wins on every instance (EMA restarts excel on unsat-like
+//! queries, aggressive restarts on satisfiable ones, the plain baseline on
+//! small ones). Classic portfolios buy this with threads and give up
+//! reproducibility; this one buys it with *time slices* and keeps every run
+//! byte-for-byte deterministic:
+//!
+//! * each member owns a private [`IncrementalSession`] (one resumable solver
+//!   whose budgeted episodes continue exactly where they stopped), built
+//!   **lazily**: only the default member exists up front, and the other
+//!   members materialize the first time the schedule reaches them — a query
+//!   the default configuration decides inside its first slice costs exactly
+//!   one session, so the race is free on the common case and acts as an
+//!   escalation path for the stragglers;
+//! * the scheduler deals conflict-budget slices round-robin; the slice
+//!   schedule is a **pure function of the query fingerprint and the slice
+//!   index** ([`slice_budget`]) — no wall-clock, no thread timing;
+//! * slices grow geometrically (doubling per full round), so the total work
+//!   wasted on losing members is bounded by a constant factor of the
+//!   winner's work;
+//! * the first member to reach a definitive verdict wins; the losers'
+//!   [`sat::CancelToken`]s are raised (they never run again) and the
+//!   winner's exportable learned clauses are fed back through the
+//!   [`SharedClausePool`], so sibling queries inherit what the race learned.
+//!
+//! The determinism contract and budget semantics are documented in
+//! `docs/robustness.md`; `cargo run -p bench --bin portfolio_stats` measures
+//! the scheduler against the single-configuration path.
+
+use crate::engine::{IncrementalSession, SharedClausePool};
+use crate::{UpecModel, UpecOptions, UpecOutcome};
+use sat::{Budget, CancelToken, SearchConfig, StopCause};
+use std::collections::BTreeSet;
+
+/// The named search configurations every portfolio races: the full modern
+/// loop, the plain Luby/phase-saving baseline, and a variant restarting four
+/// times as eagerly (see [`sat::SearchConfig::aggressive_restart`]).
+pub fn member_configs() -> [(&'static str, SearchConfig); 3] {
+    [
+        ("default", SearchConfig::default()),
+        ("baseline", SearchConfig::baseline()),
+        ("aggressive-restart", SearchConfig::aggressive_restart()),
+    ]
+}
+
+/// The conflict budget of slice `index`, as a pure function of the query
+/// `fingerprint` and the index — the whole determinism contract of the
+/// scheduler rests on this function depending on nothing else.
+///
+/// The base allotment doubles after every full round over the `members`
+/// configurations; a small deterministic jitter (up to a quarter of the
+/// base, drawn from a SplitMix64 stream seeded by `fingerprint ^ index`)
+/// desynchronizes the members' restart cadences so they explore genuinely
+/// different search trajectories.
+pub fn slice_budget(initial: u64, members: usize, fingerprint: u64, index: usize) -> u64 {
+    let round = (index / members.max(1)) as u32;
+    let base = initial.max(1).saturating_mul(1u64 << round.min(32));
+    let jitter_span = base / 4 + 1;
+    let jitter = rtl::SplitMix64::new(fingerprint ^ index as u64).gen_u64_below(jitter_span);
+    base.saturating_add(jitter)
+}
+
+/// Options of a portfolio solve.
+#[derive(Debug, Clone, Copy)]
+pub struct PortfolioOptions {
+    /// Base query options shared by every member. The `window` field is
+    /// ignored (the bound is a [`solve_portfolio`] argument), `search` is
+    /// overridden per member, and `certify` is forcibly disabled — certified
+    /// verdicts come from the serial
+    /// [`UpecEngine::check_certified`](crate::UpecEngine::check_certified)
+    /// path, never from a race.
+    pub base: UpecOptions,
+    /// Conflict budget of a first-round slice (default `1 << 18`).
+    ///
+    /// The default is deliberately generous — large enough that the default
+    /// configuration decides every registry query at `k = 2` inside its
+    /// first slice, keeping the portfolio within the `1.05×` envelope of the
+    /// single-configuration path. Racing (and its bounded redundant work)
+    /// only engages on queries the default path cannot crack within the
+    /// head start. Tests shrink this to force multi-slice schedules.
+    pub initial_conflicts: u64,
+    /// Hard cap on scheduled slices — a safety net against a query no member
+    /// can decide; the race then reports the last member's
+    /// [`UpecOutcome::Unknown`] (default 4096).
+    pub max_slices: usize,
+}
+
+impl PortfolioOptions {
+    /// Portfolio options on top of the given base query options.
+    pub fn new(base: UpecOptions) -> Self {
+        Self {
+            base,
+            initial_conflicts: 1 << 18,
+            max_slices: 4096,
+        }
+    }
+
+    /// Sets the first-round slice budget (builder style).
+    pub fn with_initial_conflicts(mut self, conflicts: u64) -> Self {
+        self.initial_conflicts = conflicts.max(1);
+        self
+    }
+
+    /// Sets the slice-count safety cap (builder style).
+    pub fn with_max_slices(mut self, slices: usize) -> Self {
+        self.max_slices = slices.max(1);
+        self
+    }
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> Self {
+        Self::new(UpecOptions::window(0))
+    }
+}
+
+/// Record of one scheduled slice, in schedule order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceRecord {
+    /// Slice index in the global schedule.
+    pub slice: usize,
+    /// Name of the member configuration that ran it.
+    pub config: &'static str,
+    /// Conflict budget the slice ran under ([`slice_budget`]).
+    pub budget: u64,
+    /// Conflicts actually spent by the slice.
+    pub conflicts: u64,
+    /// Why the slice stopped (`None` when it decided the query).
+    pub stop: Option<StopCause>,
+}
+
+/// Result of one portfolio race.
+#[derive(Debug)]
+pub struct PortfolioReport {
+    /// The verdict of the winning member ([`UpecOutcome::Unknown`] when no
+    /// member decided within the schedule).
+    pub outcome: UpecOutcome,
+    /// Name of the winning member configuration, if the query was decided.
+    pub winner: Option<&'static str>,
+    /// Every scheduled slice, in order. Byte-reproducible: two races of the
+    /// same query produce identical vectors.
+    pub slices: Vec<SliceRecord>,
+    /// Lifetime solver statistics of every member, in [`member_configs`]
+    /// order.
+    pub member_stats: Vec<(&'static str, sat::SolverStats)>,
+    /// Total budget-exhausted episodes across all members.
+    pub budget_exhaustions: u64,
+    /// Total cancelled episodes across all members.
+    pub cancellations: u64,
+    /// Learned clauses the winner exported into the shared pool.
+    pub exported_clauses: usize,
+}
+
+impl PortfolioReport {
+    /// Total conflicts spent by all members.
+    pub fn total_conflicts(&self) -> u64 {
+        self.member_stats.iter().map(|(_, s)| s.conflicts).sum()
+    }
+}
+
+/// Races the member configurations on one query — bound `k` of `model`'s
+/// UPEC property restricted to `commitment` — and returns the first
+/// definitive verdict.
+///
+/// With a `pool`, the winner's exportable learned clauses are published
+/// under the session's share fingerprint (the PR-sharing path of
+/// [`UpecEngine::run_instances`](crate::UpecEngine::run_instances)), and
+/// every member imports eligible pool clauses before its first slice.
+///
+/// Determinism: the function is single-threaded and the slice schedule is a
+/// pure function of the query fingerprint, so two calls with equal inputs
+/// (including the pool contents) return byte-identical reports — the
+/// `portfolio_stats --smoke` benchmark gate pins this.
+///
+/// # Panics
+///
+/// Panics like [`IncrementalSession::check_bound`] on a malformed
+/// commitment.
+pub fn solve_portfolio(
+    model: &UpecModel,
+    k: usize,
+    commitment: &BTreeSet<String>,
+    options: PortfolioOptions,
+    pool: Option<&SharedClausePool>,
+) -> PortfolioReport {
+    let mut race_span = obs::span("upec.portfolio");
+    race_span.attr_u64("window", k as u64);
+    let configs = member_configs();
+    let mut base = options.base;
+    // A race must never log proofs: members import foreign clauses and an
+    // undecided member's log would span unrelated episodes.
+    base.certify = false;
+
+    let spawn = |member: usize| {
+        let mut session =
+            IncrementalSession::with_options(model, base.with_search(configs[member].1));
+        let token = CancelToken::new();
+        session.set_cancel_token(Some(token.clone()));
+        (session, token)
+    };
+    // Only the default member exists up front (its theory fingerprint seeds
+    // the slice schedule); the others materialize when the schedule first
+    // reaches them, so a query decided in slice 0 pays for one session.
+    let mut sessions: Vec<Option<IncrementalSession>> = (0..configs.len()).map(|_| None).collect();
+    let mut tokens: Vec<Option<CancelToken>> = (0..configs.len()).map(|_| None).collect();
+    let (first_session, first_token) = spawn(0);
+    let share_fingerprint = first_session.share_fingerprint();
+    sessions[0] = Some(first_session);
+    tokens[0] = Some(first_token);
+    // The query fingerprint folds the bound into the theory fingerprint;
+    // eager-mode sessions (no share fingerprint) fall back to a fixed tag so
+    // the schedule stays deterministic there too.
+    let fingerprint = share_fingerprint.unwrap_or(0x5eed_0bad_c0ff_ee42)
+        ^ (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+
+    let mut slices: Vec<SliceRecord> = Vec::new();
+    let mut cursors = vec![0usize; configs.len()];
+    let mut winner: Option<usize> = None;
+    let mut outcome: Option<UpecOutcome> = None;
+
+    for index in 0..options.max_slices {
+        let member = index % configs.len();
+        if sessions[member].is_none() {
+            let (session, token) = spawn(member);
+            sessions[member] = Some(session);
+            tokens[member] = Some(token);
+        }
+        let session = sessions[member].as_mut().expect("materialized above");
+        if let (Some(pool), Some(fp)) = (pool, share_fingerprint) {
+            let (batch, next) = pool.fetch(fp, cursors[member]);
+            cursors[member] = next;
+            if !batch.is_empty() {
+                // The importer skips clauses over frames the session has not
+                // encoded yet, so feeding the whole batch is safe.
+                session.import_shared(&batch);
+            }
+        }
+        let budget = slice_budget(options.initial_conflicts, configs.len(), fingerprint, index);
+        session.set_budget(Budget::conflicts(budget));
+        let before = session.solver_stats();
+        let mut slice_span = obs::span("upec.portfolio.slice");
+        slice_span.attr_str("config", configs[member].0);
+        slice_span.attr_u64("slice", index as u64);
+        slice_span.attr_u64("budget_conflicts", budget);
+        let result = session.check_bound(k, commitment);
+        let spent = session.solver_stats().delta_since(&before);
+        let stop = session.last_stop();
+        slice_span.attr_str("verdict", result.verdict_name());
+        drop(slice_span);
+        slices.push(SliceRecord {
+            slice: index,
+            config: configs[member].0,
+            budget,
+            conflicts: spent.conflicts,
+            stop,
+        });
+        match result {
+            UpecOutcome::Unknown(_) if stop == Some(StopCause::BudgetExhausted) => continue,
+            // A conflict-limit or cancellation stop is the caller's doing;
+            // report it honestly instead of spending other members' slices.
+            UpecOutcome::Unknown(_) => {
+                outcome = Some(result);
+                break;
+            }
+            decided => {
+                winner = Some(member);
+                outcome = Some(decided);
+                break;
+            }
+        }
+    }
+
+    // Stop the losers: their tokens stay raised, so even a caller that keeps
+    // the sessions alive cannot accidentally resume a lost race member.
+    if let Some(w) = winner {
+        for (member, token) in tokens.iter().enumerate() {
+            if member != w {
+                if let Some(token) = token {
+                    token.cancel();
+                }
+            }
+        }
+    }
+    let mut exported_clauses = 0usize;
+    if let (Some(w), Some(pool), Some(fp)) = (winner, pool, share_fingerprint) {
+        let mut export = Vec::new();
+        sessions[w]
+            .as_mut()
+            .expect("the winner ran at least one slice")
+            .export_shared(&mut export);
+        exported_clauses = export.len();
+        if !export.is_empty() {
+            pool.publish(fp, export);
+        }
+    }
+
+    // Members the schedule never reached report pristine (default) stats.
+    let member_stats: Vec<(&'static str, sat::SolverStats)> = configs
+        .iter()
+        .zip(&sessions)
+        .map(|((name, _), session)| {
+            (
+                *name,
+                session
+                    .as_ref()
+                    .map(|s| s.solver_stats())
+                    .unwrap_or_default(),
+            )
+        })
+        .collect();
+    let budget_exhaustions = member_stats.iter().map(|(_, s)| s.budget_exhaustions).sum();
+    let cancellations = member_stats.iter().map(|(_, s)| s.cancellations).sum();
+    let outcome = outcome.unwrap_or_else(|| {
+        // max_slices == 0 is unreachable (clamped to 1), but stay total.
+        UpecOutcome::Unknown(crate::UpecStats::default())
+    });
+    race_span.attr_u64("slices", slices.len() as u64);
+    race_span.attr_str("verdict", outcome.verdict_name());
+    if let Some(w) = winner {
+        race_span.attr_str("winner", configs[w].0);
+    }
+    obs::counter("upec.portfolio.slices", slices.len() as u64);
+    obs::counter("upec.portfolio.budget_exhaustions", budget_exhaustions);
+    PortfolioReport {
+        outcome,
+        winner: winner.map(|w| configs[w].0),
+        slices,
+        member_stats,
+        budget_exhaustions,
+        cancellations,
+        exported_clauses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{full_commitment, SecretScenario, UpecChecker, UpecModel};
+    use soc::{SocConfig, SocVariant};
+
+    fn tiny(variant: SocVariant) -> SocConfig {
+        SocConfig::new(variant)
+            .with_registers(4)
+            .with_cache_lines(2)
+            .with_miss_latency(1)
+            .with_store_latency(1)
+    }
+
+    #[test]
+    fn slice_budgets_are_pure_and_grow_geometrically() {
+        let members = member_configs().len();
+        for fp in [0u64, 0xdead_beef, u64::MAX] {
+            for index in 0..24 {
+                let a = slice_budget(64, members, fp, index);
+                let b = slice_budget(64, members, fp, index);
+                assert_eq!(a, b, "slice_budget must be a pure function");
+                // Base doubles per round; jitter adds at most a quarter.
+                let round = (index / members) as u32;
+                let base = 64u64 << round;
+                assert!(a >= base && a <= base + base / 4, "slice {index}: {a}");
+            }
+        }
+        assert_ne!(
+            slice_budget(64, members, 1, 0),
+            slice_budget(64, members, 2, 0),
+            "different queries should draw different jitter"
+        );
+    }
+
+    /// The acceptance property of the scheduler: the race reaches the same
+    /// verdict as the single-configuration path, and two races of the same
+    /// query are byte-identical (slices, winner, member stats).
+    #[test]
+    fn portfolio_agrees_with_single_config_and_is_reproducible() {
+        for (variant, scenario, k) in [
+            (SocVariant::Orc, SecretScenario::InCache, 2),
+            (SocVariant::Secure, SecretScenario::NotInCache, 1),
+        ] {
+            let model = UpecModel::new(&tiny(variant), scenario);
+            let commitment = full_commitment(&model);
+            let single = UpecChecker::new().check(&model, UpecOptions::window(k), &commitment);
+
+            let options = PortfolioOptions::default().with_initial_conflicts(8);
+            let first = solve_portfolio(&model, k, &commitment, options, None);
+            let second = solve_portfolio(&model, k, &commitment, options, None);
+
+            assert_eq!(
+                first.outcome.verdict_name(),
+                single.verdict_name(),
+                "{variant:?}: portfolio diverged from the single-config path"
+            );
+            assert_eq!(
+                first.slices, second.slices,
+                "{variant:?}: schedule not reproducible"
+            );
+            assert_eq!(first.winner, second.winner, "{variant:?}");
+            assert_eq!(first.member_stats, second.member_stats, "{variant:?}");
+            assert!(first.winner.is_some(), "{variant:?}: the race must decide");
+        }
+    }
+
+    /// The race stops at the first definitive slice: nothing is scheduled
+    /// after the winner, and the winning slice is the only one without a
+    /// stop cause.
+    #[test]
+    fn first_finisher_wins_and_ends_the_schedule() {
+        let model = UpecModel::new(&tiny(SocVariant::Secure), SecretScenario::NotInCache);
+        let commitment = full_commitment(&model);
+        let report = solve_portfolio(
+            &model,
+            1,
+            &commitment,
+            PortfolioOptions::default().with_initial_conflicts(8),
+            None,
+        );
+        let winner = report.winner.expect("the query is decidable");
+        let last = report.slices.last().expect("at least one slice ran");
+        assert_eq!(last.config, winner);
+        assert_eq!(last.stop, None, "the deciding slice has no stop cause");
+        for slice in &report.slices[..report.slices.len() - 1] {
+            assert_eq!(
+                slice.stop,
+                Some(StopCause::BudgetExhausted),
+                "every earlier slice stopped on its budget"
+            );
+        }
+    }
+}

@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use soc::{SocConfig, SocVariant};
 use upec::scenarios::{self, Expectation};
 use upec::{
-    BoundStatus, CertificateCheck, CertificateError, CertifiedResult, EngineOptions,
+    BoundStatus, CertificateCheck, CertificateError, CertifiedResult, EngineError, EngineOptions,
     IncrementalSession, SecretScenario, UpecEngine, UpecModel, UpecOptions, VerdictCertificate,
 };
 
@@ -158,7 +158,9 @@ fn bve_eliminated_variables_decode_into_replayable_witnesses() {
 
     let mut witnessed = 0;
     for k in 1..=3 {
-        let (outcome, certificate) = session.check_bound_certified(k, &commitment);
+        let (outcome, certificate) = session
+            .check_bound_certified(k, &commitment)
+            .expect("certified query on a logging session");
         if outcome.alert().is_none() {
             continue;
         }
@@ -185,6 +187,77 @@ fn bve_eliminated_variables_decode_into_replayable_witnesses() {
         "the scenario no longer exercises variable elimination; \
          stats: {:?}",
         session.simplify_stats()
+    );
+}
+
+/// An undecided query must never emit a certificate: a budget-exhausted
+/// certified query is rejected with a typed error — carrying the effort
+/// spent and the stop cause — and the session stays valid, so re-checking
+/// the same bound under a real budget certifies normally.
+#[test]
+fn budget_exhausted_queries_are_rejected_for_certification() {
+    let config = SocConfig::new(SocVariant::Secure)
+        .with_registers(4)
+        .with_cache_lines(2)
+        .with_miss_latency(1)
+        .with_store_latency(1);
+    let model = UpecModel::new(&config, SecretScenario::InCache);
+    let commitment = upec::full_commitment(&model);
+    // A zero-conflict, zero-decision budget cannot decide this proof (it
+    // needs real search), so the query must stop as Unknown.
+    let options = UpecOptions::window(0)
+        .with_certificates()
+        .with_budget(sat::Budget::conflicts(0).with_decisions(0));
+    let mut session = IncrementalSession::with_options(&model, options);
+    let err = session
+        .check_bound_certified(2, &commitment)
+        .expect_err("an exhausted query must not certify");
+    match err {
+        EngineError::UncertifiableVerdict {
+            window,
+            stats,
+            stop,
+        } => {
+            assert_eq!(window, 2);
+            assert_eq!(stop, Some(sat::StopCause::BudgetExhausted));
+            assert_eq!(stats.stop, Some(sat::StopCause::BudgetExhausted));
+        }
+        other => panic!("wrong rejection: {other}"),
+    }
+    // The session resumes: the same bound decides and certifies under an
+    // unlimited budget.
+    session.set_budget(sat::Budget::unlimited());
+    let (outcome, certificate) = session
+        .check_bound_certified(2, &commitment)
+        .expect("the resumed query decides");
+    assert!(
+        !matches!(outcome, upec::UpecOutcome::Unknown(_)),
+        "unlimited budget must decide: {outcome:?}"
+    );
+    let certificate = certificate.expect("decided verdicts carry a certificate");
+    certificate
+        .check(&model)
+        .expect("the resumed verdict's certificate must re-check");
+}
+
+/// Sessions opened without proof logging reject certified queries with a
+/// clear typed error instead of asserting.
+#[test]
+fn sessions_without_proof_logging_reject_certified_queries() {
+    let config = SocConfig::new(SocVariant::Secure)
+        .with_registers(4)
+        .with_cache_lines(2)
+        .with_miss_latency(1)
+        .with_store_latency(1);
+    let model = UpecModel::new(&config, SecretScenario::NotInCache);
+    let commitment = upec::full_commitment(&model);
+    let mut session = IncrementalSession::with_options(&model, UpecOptions::window(0));
+    let err = session
+        .check_bound_certified(1, &commitment)
+        .expect_err("no proof log, no certificates");
+    assert!(
+        matches!(err, EngineError::CertificationUnavailable),
+        "{err}"
     );
 }
 

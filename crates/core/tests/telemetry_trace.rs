@@ -40,7 +40,9 @@ fn traced_query_produces_the_documented_span_tree() {
     let commitment = spec.commitment_set(&model);
     let options = UpecOptions::window(1).with_certificates();
     let mut session = IncrementalSession::with_options(&model, options);
-    let (outcome, certificate) = session.check_bound_certified(1, &commitment);
+    let (outcome, certificate) = session
+        .check_bound_certified(1, &commitment)
+        .expect("certified query on a logging session");
     let certificate = certificate.expect("a decided bound carries a certificate");
     let check = certificate.check(&model);
     obs::uninstall();

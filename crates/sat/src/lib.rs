@@ -20,6 +20,12 @@
 //! * solving under assumptions and an optional conflict budget (used by the
 //!   benchmark harness to reproduce the paper's notion of a *feasible* proof
 //!   window),
+//! * **budgeted, cancellable episodes**: a deterministic per-episode
+//!   resource [`Budget`] (conflicts / propagations / decisions — never
+//!   wall-clock) whose exhaustion yields a resumable
+//!   [`SatResult::Unknown`], a restart-boundary [`CancelToken`], and a
+//!   [`StopCause`] telling callers why an episode stopped (see
+//!   `docs/robustness.md`),
 //! * **incremental sessions**: clauses and variables may be added between
 //!   `solve` calls while learned clauses, activities and phases persist;
 //!   retractable obligations via activation literals; per-call effort
@@ -56,6 +62,8 @@
 
 mod cnf;
 pub mod drat;
+#[cfg(any(test, feature = "faults"))]
+pub mod faults;
 mod lit;
 mod simplify;
 mod solver;
@@ -64,4 +72,4 @@ pub use cnf::{CnfFormula, Model, SatResult};
 pub use drat::ProofLog;
 pub use lit::{LBool, Lit, Var};
 pub use simplify::{SimplifyConfig, SimplifyStats};
-pub use solver::{SearchConfig, Solver, SolverStats};
+pub use solver::{Budget, CancelToken, SearchConfig, Solver, SolverStats, StopCause};

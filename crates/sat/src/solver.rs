@@ -63,6 +63,13 @@ pub struct SolverStats {
     pub deleted_clauses: u64,
     /// Number of compacting clause-arena garbage collections performed.
     pub arena_collections: u64,
+    /// Number of solving episodes stopped by an exhausted [`Budget`] cap.
+    /// The legacy whole-episode conflict limit
+    /// ([`Solver::set_conflict_limit`]) is not counted here.
+    pub budget_exhaustions: u64,
+    /// Number of solving episodes stopped by an external cancellation — a
+    /// raised [`CancelToken`] or interrupt flag ([`Solver::set_interrupt`]).
+    pub cancellations: u64,
 }
 
 impl SolverStats {
@@ -106,7 +113,182 @@ impl SolverStats {
             arena_collections: self
                 .arena_collections
                 .saturating_sub(earlier.arena_collections),
+            budget_exhaustions: self
+                .budget_exhaustions
+                .saturating_sub(earlier.budget_exhaustions),
+            cancellations: self.cancellations.saturating_sub(earlier.cancellations),
         }
+    }
+}
+
+/// Deterministic resource budget for one solving episode.
+///
+/// Budgets are expressed in solver work units — conflicts, unit propagations
+/// and decisions — never wall-clock time, so a budgeted run stops at exactly
+/// the same point on every machine and every rerun. A cap of `None` leaves
+/// that unit unlimited. Budgets are *per episode*: each [`Solver::solve`]
+/// call measures its own spend from zero, so calling `solve` again after an
+/// exhausted episode **resumes** the search with a fresh allotment while
+/// keeping every learned clause, activity and saved phase — the resumed run
+/// reaches the same verdict the uninterrupted run would have.
+///
+/// Caps are checked at deterministic checkpoints: the conflict and
+/// propagation caps once per conflict, the decision and propagation caps
+/// once per decision. The stop point is exactly reproducible but may
+/// overshoot a propagation cap by the propagations of one conflict round.
+///
+/// **Progress caveat.** Only conflicts leave a trace (a learned clause,
+/// bumped activities, saved phases) — an episode that exhausts a decision
+/// or propagation cap *before its first conflict* leaves the search state
+/// unchanged, so resuming with the same tiny allotment repeats the same
+/// episode forever. Drivers that resume in a loop must either cap
+/// conflicts (every budgeted episode then makes learning progress) or grow
+/// their slices geometrically, as the portfolio scheduler in the `upec`
+/// crate does.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{Budget, SatResult, Solver, StopCause};
+///
+/// let mut solver = Solver::new();
+/// # let lits: Vec<sat::Lit> = (0..6).map(|_| solver.new_var().positive()).collect();
+/// # for a in 0..3 { solver.add_clause([lits[2*a], lits[2*a+1]]); }
+/// solver.set_budget(Budget::default().with_decisions(0));
+/// assert_eq!(solver.solve(), SatResult::Unknown);
+/// assert_eq!(solver.last_stop(), Some(StopCause::BudgetExhausted));
+/// solver.set_budget(Budget::unlimited());
+/// assert!(solver.solve().is_sat()); // resumed and finished
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum conflicts per episode (`None` = unlimited).
+    pub conflicts: Option<u64>,
+    /// Maximum unit propagations per episode (`None` = unlimited).
+    pub propagations: Option<u64>,
+    /// Maximum decisions per episode (`None` = unlimited).
+    pub decisions: Option<u64>,
+}
+
+impl Budget {
+    /// The unlimited budget (no caps; identical to `Budget::default()`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget capping only conflicts.
+    pub fn conflicts(n: u64) -> Self {
+        Self::default().with_conflicts(n)
+    }
+
+    /// Caps conflicts (builder style).
+    pub fn with_conflicts(mut self, n: u64) -> Self {
+        self.conflicts = Some(n);
+        self
+    }
+
+    /// Caps unit propagations (builder style).
+    pub fn with_propagations(mut self, n: u64) -> Self {
+        self.propagations = Some(n);
+        self
+    }
+
+    /// Caps decisions (builder style).
+    pub fn with_decisions(mut self, n: u64) -> Self {
+        self.decisions = Some(n);
+        self
+    }
+
+    /// Whether no unit is capped.
+    pub fn is_unlimited(&self) -> bool {
+        self.conflicts.is_none() && self.propagations.is_none() && self.decisions.is_none()
+    }
+
+    /// Pointwise minimum of two budgets: per unit, the tighter cap wins.
+    /// Layered budget policies (per-bound vs per-scenario in the `upec`
+    /// engine) combine with this.
+    pub fn min(self, other: Budget) -> Budget {
+        fn tighter(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        Budget {
+            conflicts: tighter(self.conflicts, other.conflicts),
+            propagations: tighter(self.propagations, other.propagations),
+            decisions: tighter(self.decisions, other.decisions),
+        }
+    }
+
+    /// The budget left after spending `spent`, saturating at zero. Callers
+    /// that split one budget across several internal solve episodes (the
+    /// `bmc` unroller's trial-solve/simplify/full-solve pipeline) thread
+    /// the remainder through with this.
+    pub fn minus(self, spent: &SolverStats) -> Budget {
+        Budget {
+            conflicts: self.conflicts.map(|c| c.saturating_sub(spent.conflicts)),
+            propagations: self
+                .propagations
+                .map(|c| c.saturating_sub(spent.propagations)),
+            decisions: self.decisions.map(|c| c.saturating_sub(spent.decisions)),
+        }
+    }
+
+    /// Whether any capped unit has zero remaining.
+    pub fn is_exhausted(&self) -> bool {
+        self.conflicts == Some(0) || self.propagations == Some(0) || self.decisions == Some(0)
+    }
+}
+
+/// Why the most recent solving episode returned [`SatResult::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The legacy whole-episode conflict limit
+    /// ([`Solver::set_conflict_limit`]) was reached.
+    ConflictLimit,
+    /// A [`Budget`] cap ([`Solver::set_budget`]) was reached.
+    BudgetExhausted,
+    /// An external cancellation: a raised [`CancelToken`] or interrupt flag.
+    Cancelled,
+}
+
+/// External cancellation handle shared between a requesting thread and a
+/// solver.
+///
+/// Cloning yields another handle to the same flag. The solver polls the
+/// token with one relaxed atomic load at restart boundaries (and once at
+/// episode entry), so an installed-but-unset token costs a predictable
+/// branch per restart and nothing per conflict; with no token installed the
+/// cost is a `None` check. A cancelled episode returns
+/// [`SatResult::Unknown`] with [`StopCause::Cancelled`]; solver state stays
+/// valid and later episodes (after [`CancelToken::reset`]) work normally.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (relaxed store; takes effect at the solver's
+    /// next poll point).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Clears the request so the token (and its solver) can be reused.
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
     }
 }
 
@@ -143,6 +325,13 @@ pub struct SearchConfig {
     /// flag is consulted by the unrolling layer between bound extensions,
     /// not by `solve` itself.
     pub vivify: bool,
+    /// Base conflict budget of the Luby restart cadence: round `i` of an
+    /// episode runs for `restart_base * luby(i)` conflicts before the
+    /// search restarts (values below 1 are clamped to 1). Smaller bases
+    /// restart more aggressively; the portfolio scheduler in the `upec`
+    /// crate races such a variant ([`SearchConfig::aggressive_restart`])
+    /// against the default cadence.
+    pub restart_base: u64,
 }
 
 impl Default for SearchConfig {
@@ -154,6 +343,7 @@ impl Default for SearchConfig {
             chrono_backtrack: true,
             chrono_threshold: 100,
             vivify: true,
+            restart_base: 128,
         }
     }
 }
@@ -170,6 +360,19 @@ impl SearchConfig {
             chrono_backtrack: false,
             chrono_threshold: 100,
             vivify: false,
+            restart_base: 128,
+        }
+    }
+
+    /// An aggressively-restarting variant of the default configuration: the
+    /// Luby base is quartered, so the search explores many short
+    /// orientations instead of committing to one long prefix. Used as a
+    /// portfolio member — it tends to win on queries where the default
+    /// cadence rides out an unproductive orientation.
+    pub fn aggressive_restart() -> Self {
+        Self {
+            restart_base: 32,
+            ..Self::default()
         }
     }
 }
@@ -409,6 +612,21 @@ pub struct Solver {
     pub(crate) stats: SolverStats,
     conflict_limit: Option<u64>,
     interrupt: Option<Arc<AtomicBool>>,
+    /// Deterministic per-episode resource budget (see [`Solver::set_budget`]).
+    budget: Budget,
+    /// External cancellation token polled at restart boundaries (see
+    /// [`Solver::set_cancel_token`]).
+    cancel: Option<CancelToken>,
+    /// Stats snapshot at the entry of the current (or most recent) episode:
+    /// the baseline against which budget spend is measured.
+    episode: SolverStats,
+    /// Why the most recent episode stopped without an answer (see
+    /// [`Solver::last_stop`]).
+    last_stop: Option<StopCause>,
+    /// Armed fault-injection plan (robustness testing only; absent from
+    /// release builds).
+    #[cfg(any(test, feature = "faults"))]
+    fault: Option<crate::faults::FaultPlan>,
     pub(crate) num_learnts: usize,
     max_learnts: usize,
     /// Variables the simplifier must never eliminate (see
@@ -510,6 +728,12 @@ impl Solver {
             stats: SolverStats::default(),
             conflict_limit: None,
             interrupt: None,
+            budget: Budget::default(),
+            cancel: None,
+            episode: SolverStats::default(),
+            last_stop: None,
+            #[cfg(any(test, feature = "faults"))]
+            fault: None,
             num_learnts: 0,
             max_learnts: 8192,
             frozen: Vec::new(),
@@ -676,6 +900,140 @@ impl Solver {
         self.interrupt
             .as_ref()
             .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Sets the deterministic per-episode resource [`Budget`]. The budget
+    /// applies to every subsequent `solve` episode until replaced; an
+    /// exhausted episode answers [`SatResult::Unknown`] with
+    /// [`StopCause::BudgetExhausted`], preserves all solver state, and the
+    /// next `solve` call resumes with a fresh allotment.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The active per-episode budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Installs (or removes, with `None`) an external [`CancelToken`].
+    ///
+    /// Unlike the per-conflict interrupt flag ([`Solver::set_interrupt`]),
+    /// the token is polled only at restart boundaries and at episode entry
+    /// — the zero-cost-when-unset hook the portfolio scheduler uses to stop
+    /// losing configurations.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Why the most recent `solve` episode returned
+    /// [`SatResult::Unknown`], or `None` if it produced a definitive
+    /// answer (or no episode ran yet). Layered callers use this to tell an
+    /// exhausted budget apart from an external cancellation when deciding
+    /// whether to retry, degrade or abort.
+    pub fn last_stop(&self) -> Option<StopCause> {
+        self.last_stop
+    }
+
+    /// Counter deltas of the current (or most recent) episode — the spend
+    /// the budget caps are measured against.
+    pub fn episode_spent(&self) -> SolverStats {
+        self.stats.delta_since(&self.episode)
+    }
+
+    /// Arms (or disarms, with `None`) a one-shot fault-injection plan; see
+    /// [`crate::faults`]. Testing only — the hook does not exist in release
+    /// builds.
+    #[cfg(any(test, feature = "faults"))]
+    pub fn inject_fault(&mut self, plan: Option<crate::faults::FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The armed fault-injection plan, if any (testing only).
+    #[cfg(any(test, feature = "faults"))]
+    pub fn injected_fault(&self) -> Option<crate::faults::FaultPlan> {
+        self.fault
+    }
+
+    /// Whether an installed cancel token has been cancelled.
+    fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Whether the episode spend has hit the conflict or propagation cap
+    /// (evaluated once per conflict).
+    fn budget_conflict_cap_hit(&self) -> bool {
+        self.budget
+            .conflicts
+            .is_some_and(|cap| self.stats.conflicts - self.episode.conflicts >= cap)
+            || self
+                .budget
+                .propagations
+                .is_some_and(|cap| self.stats.propagations - self.episode.propagations >= cap)
+    }
+
+    /// Whether the episode spend has hit the decision or propagation cap
+    /// (evaluated once per decision, before the decision is made).
+    fn budget_decision_cap_hit(&self) -> bool {
+        self.budget
+            .decisions
+            .is_some_and(|cap| self.stats.decisions - self.episode.decisions >= cap)
+            || self
+                .budget
+                .propagations
+                .is_some_and(|cap| self.stats.propagations - self.episode.propagations >= cap)
+    }
+
+    /// Polls the armed fault plan at a conflict checkpoint; returns the
+    /// emulated stop cause when the plan fires (and disarms it).
+    #[cfg(any(test, feature = "faults"))]
+    fn fault_at_conflict(&mut self) -> Option<StopCause> {
+        use crate::faults::FaultKind;
+        let plan = self.fault?;
+        if self.stats.conflicts - self.episode.conflicts < plan.after_conflicts {
+            return None;
+        }
+        match plan.kind {
+            FaultKind::BudgetExhaustion => {
+                self.fault = None;
+                Some(StopCause::BudgetExhausted)
+            }
+            FaultKind::MidSliceAbort => {
+                self.fault = None;
+                Some(StopCause::Cancelled)
+            }
+            FaultKind::SpuriousCancellation => None, // fires at restart boundaries
+        }
+    }
+
+    #[cfg(not(any(test, feature = "faults")))]
+    #[inline(always)]
+    fn fault_at_conflict(&mut self) -> Option<StopCause> {
+        None
+    }
+
+    /// Polls the armed fault plan at a restart boundary (where real cancel
+    /// tokens are polled); returns `true` when a spurious cancellation
+    /// fires (and disarms it).
+    #[cfg(any(test, feature = "faults"))]
+    fn fault_at_restart(&mut self) -> bool {
+        use crate::faults::FaultKind;
+        match self.fault {
+            Some(plan)
+                if plan.kind == FaultKind::SpuriousCancellation
+                    && self.stats.conflicts - self.episode.conflicts >= plan.after_conflicts =>
+            {
+                self.fault = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    #[cfg(not(any(test, feature = "faults")))]
+    #[inline(always)]
+    fn fault_at_restart(&mut self) -> bool {
+        false
     }
 
     /// Sets the initial learned-clause budget that triggers database
@@ -1907,10 +2265,14 @@ impl Solver {
                  variables must be frozen before `simplify`"
             );
         }
+        self.last_stop = None;
+        self.episode = self.stats;
         if !self.ok {
             return SatResult::Unsat;
         }
-        if self.interrupt_raised() {
+        if self.interrupt_raised() || self.cancel_requested() {
+            self.stats.cancellations += 1;
+            self.last_stop = Some(StopCause::Cancelled);
             return SatResult::Unknown;
         }
         self.backtrack_to(0);
@@ -1920,7 +2282,7 @@ impl Solver {
         }
 
         let mut restart_count = 0u64;
-        let restart_base = 128u64;
+        let restart_base = self.config.restart_base.max(1);
         let conflict_start = self.stats.conflicts;
 
         loop {
@@ -1949,6 +2311,13 @@ impl Solver {
                     restart_count += 1;
                     self.stats.restarts += 1;
                     self.backtrack_to(0);
+                    // Restart boundary: the documented poll point of the
+                    // external cancellation token (one relaxed load).
+                    if self.cancel_requested() || self.fault_at_restart() {
+                        self.stats.cancellations += 1;
+                        self.last_stop = Some(StopCause::Cancelled);
+                        return SatResult::Unknown;
+                    }
                     if self.config.rephasing && self.stats.conflicts >= self.rephase_next {
                         self.rephase();
                         self.rephase_interval += self.rephase_interval / 2;
@@ -2064,10 +2433,26 @@ impl Solver {
                 }
                 if let Some(limit) = self.conflict_limit {
                     if self.stats.conflicts - conflict_start >= limit {
+                        self.last_stop = Some(StopCause::ConflictLimit);
                         return SearchOutcome::LimitReached;
                     }
                 }
                 if self.interrupt_raised() {
+                    self.stats.cancellations += 1;
+                    self.last_stop = Some(StopCause::Cancelled);
+                    return SearchOutcome::LimitReached;
+                }
+                if self.budget_conflict_cap_hit() {
+                    self.stats.budget_exhaustions += 1;
+                    self.last_stop = Some(StopCause::BudgetExhausted);
+                    return SearchOutcome::LimitReached;
+                }
+                if let Some(cause) = self.fault_at_conflict() {
+                    match cause {
+                        StopCause::BudgetExhausted => self.stats.budget_exhaustions += 1,
+                        _ => self.stats.cancellations += 1,
+                    }
+                    self.last_stop = Some(cause);
                     return SearchOutcome::LimitReached;
                 }
                 if self.num_learnts > self.max_learnts {
@@ -2110,6 +2495,19 @@ impl Solver {
                 match decision {
                     None => return SearchOutcome::Sat,
                     Some(lit) => {
+                        // Decision checkpoint of the budget: an answer found
+                        // without spending another decision is still
+                        // returned; only committing to more work is gated.
+                        if self.budget_decision_cap_hit() {
+                            // Reinsert the branch variable `pick_branch_var`
+                            // popped: every unassigned variable must stay in
+                            // the order heap, or a resumed episode could
+                            // declare Sat without ever assigning it.
+                            self.order.insert(lit.var(), &self.activity);
+                            self.stats.budget_exhaustions += 1;
+                            self.last_stop = Some(StopCause::BudgetExhausted);
+                            return SearchOutcome::LimitReached;
+                        }
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(lit, Reason::Decision);
@@ -2411,6 +2809,136 @@ mod tests {
             }
         }
         s
+    }
+
+    #[test]
+    fn budget_exhaustion_yields_unknown_and_resumes_to_the_same_verdict() {
+        let mut budgeted = pigeonhole(7, 6);
+        budgeted.set_budget(Budget::conflicts(10));
+        assert_eq!(budgeted.solve(), SatResult::Unknown);
+        assert_eq!(budgeted.last_stop(), Some(StopCause::BudgetExhausted));
+        assert_eq!(budgeted.stats().budget_exhaustions, 1);
+        // Each further episode gets a fresh allotment; the search resumes
+        // on the retained state and eventually closes the proof.
+        let mut episodes = 1;
+        let verdict = loop {
+            match budgeted.solve() {
+                SatResult::Unknown => episodes += 1,
+                other => break other,
+            }
+            assert!(episodes < 10_000, "budgeted solve failed to converge");
+        };
+        assert!(verdict.is_unsat());
+        assert!(episodes > 1, "a 10-conflict slice cannot finish PHP(7,6)");
+        assert_eq!(budgeted.last_stop(), None);
+        budgeted
+            .debug_validate()
+            .expect("state intact after resumes");
+    }
+
+    #[test]
+    fn propagation_and_decision_caps_stop_the_episode() {
+        let mut s = pigeonhole(7, 6);
+        s.set_budget(Budget::default().with_propagations(50));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        assert_eq!(s.last_stop(), Some(StopCause::BudgetExhausted));
+
+        s.set_budget(Budget::default().with_decisions(3));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        assert_eq!(s.last_stop(), Some(StopCause::BudgetExhausted));
+        assert!(s.episode_spent().decisions <= 3);
+
+        s.set_budget(Budget::unlimited());
+        assert!(s.solve().is_unsat());
+        assert_eq!(s.last_stop(), None);
+    }
+
+    #[test]
+    fn budget_min_takes_the_tighter_cap_per_unit() {
+        let a = Budget::conflicts(100).with_decisions(5);
+        let b = Budget::conflicts(50).with_propagations(7);
+        let m = a.min(b);
+        assert_eq!(m.conflicts, Some(50));
+        assert_eq!(m.propagations, Some(7));
+        assert_eq!(m.decisions, Some(5));
+        assert!(Budget::unlimited().min(Budget::unlimited()).is_unlimited());
+        assert!(m
+            .minus(&SolverStats {
+                conflicts: 60,
+                propagations: 7,
+                decisions: 0,
+                ..SolverStats::default()
+            })
+            .is_exhausted());
+    }
+
+    #[test]
+    fn cancel_token_stops_the_episode_and_is_reusable() {
+        let mut s = pigeonhole(7, 6);
+        let token = CancelToken::new();
+        s.set_cancel_token(Some(token.clone()));
+        // Unset token: solving proceeds normally and answers.
+        s.set_budget(Budget::conflicts(5));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        assert_eq!(s.last_stop(), Some(StopCause::BudgetExhausted));
+        // Raised token: the next episode winds down as cancelled.
+        token.cancel();
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve(), SatResult::Unknown);
+        assert_eq!(s.last_stop(), Some(StopCause::Cancelled));
+        assert!(s.stats().cancellations >= 1);
+        // Reset: the same solver finishes the proof.
+        token.reset();
+        assert!(s.solve().is_unsat());
+        s.debug_validate().expect("state intact after cancellation");
+    }
+
+    #[test]
+    fn identical_budgeted_runs_have_identical_stats() {
+        let run = || {
+            let mut s = pigeonhole(7, 6);
+            s.set_budget(Budget::conflicts(25).with_propagations(10_000));
+            let first = s.solve();
+            let second = s.solve();
+            (first, second, s.stats())
+        };
+        let (a1, a2, astats) = run();
+        let (b1, b2, bstats) = run();
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+        assert_eq!(astats, bstats, "budgeted episodes must be deterministic");
+    }
+
+    #[test]
+    fn injected_faults_never_corrupt_the_verdict() {
+        use crate::faults::FaultPlan;
+        for seed in 0..48u64 {
+            let plan = FaultPlan::from_seed(seed, 40);
+            let mut s = pigeonhole(7, 6);
+            s.inject_fault(Some(plan));
+            let mut outcomes = Vec::new();
+            let verdict = loop {
+                match s.solve() {
+                    SatResult::Unknown => {
+                        outcomes.push(s.last_stop().expect("unknown must carry a stop cause"));
+                        assert!(
+                            outcomes.len() <= 2,
+                            "seed {seed}: one-shot fault stopped more than once"
+                        );
+                    }
+                    other => break other,
+                }
+            };
+            assert!(
+                verdict.is_unsat(),
+                "seed {seed}: injected fault changed the verdict"
+            );
+            if !outcomes.is_empty() {
+                assert_eq!(s.injected_fault(), None, "fired plan must disarm");
+            }
+            s.debug_validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: poisoned state: {e}"));
+        }
     }
 
     #[test]

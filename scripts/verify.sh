@@ -10,7 +10,8 @@
 # --full additionally runs the release-mode `--ignored` acceptance sweeps
 # (full-registry simplification differential, full instance-registry scan,
 # default-seed fuzz-witness reproduction, full clause-sharing differential,
-# full certified-verdict sweep) — several minutes of SAT solving.
+# full certified-verdict sweep, fault-injection differential sweep) —
+# several minutes of SAT solving.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,6 +70,14 @@ echo "==> bench smoke: cert_stats --smoke (certified verdicts re-checked, k=1 su
 # every certificate must check. Exits non-zero otherwise; writes no JSON.
 cargo run --release -q -p bench --bin cert_stats -- --smoke
 
+echo "==> bench smoke: portfolio_stats --smoke (deterministic portfolio race, k=1 subset)"
+# Fast gate for the budgeted portfolio scheduler (docs/robustness.md): on
+# the smoke subset the portfolio race must reach the same verdict as the
+# single-configuration path, and two races of the same query must be
+# byte-identical (slice schedule, budgets, winner, member stats — no
+# wall-clock anywhere). Exits non-zero on any mismatch; writes no JSON.
+cargo run --release -q -p bench --bin portfolio_stats -- --smoke
+
 if [ "$full" -eq 1 ]; then
   echo "==> full: simplification differential over the whole registry (--ignored, release)"
   cargo test --release -q -p upec --test simplify_differential -- --ignored
@@ -81,6 +90,15 @@ if [ "$full" -eq 1 ]; then
 
   echo "==> full: certified registry sweep (--ignored, release)"
   cargo test --release -q -p upec --test certificates -- --ignored
+
+  echo "==> full: fault-injection differential sweep (--features faults, --ignored, release)"
+  # Deterministic faults (forced budget exhaustion, spurious cancellation,
+  # mid-slice abort) are armed at SplitMix64-chosen points inside engine
+  # queries; every faulted query must either reach the fault-free verdict or
+  # answer Unknown with an honest stop cause, and the session must resume to
+  # the exact fault-free verdict (docs/robustness.md).
+  cargo test --release -q -p upec --features faults --test fault_injection
+  cargo test --release -q -p upec --features faults --test fault_injection -- --ignored
 fi
 
 echo "verify.sh: all checks passed"
